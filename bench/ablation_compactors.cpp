@@ -1,0 +1,74 @@
+// Ablation: response-compaction schemes head to head. The paper assumes
+// an ideal analyzer; this measures how close each practical compactor
+// comes — per-fault aliasing rate and diagnostic sharpness — on the
+// lowpass design.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "bist/compactors.hpp"
+#include "bist/diagnosis.hpp"
+#include "designs/reference.hpp"
+#include "fault/simulator.hpp"
+#include "gate/sim.hpp"
+#include "tpg/generators.hpp"
+
+int main() {
+  using namespace fdbist;
+  const auto d = designs::make_reference(designs::ReferenceFilter::Lowpass);
+  const auto low = gate::lower(d.graph);
+  const auto faults = fault::order_for_simulation(
+      fault::enumerate_adder_faults(low), low.netlist, d.graph);
+  const std::size_t vectors = bench::budget(1024);
+  auto gen = tpg::make_generator(tpg::GeneratorKind::LfsrD, 12);
+  const auto stim = gen->generate_raw(vectors);
+  const auto result = fault::simulate_faults(low.netlist, stim, faults);
+
+  // Sample detected faults for the per-scheme aliasing measurement.
+  std::vector<std::size_t> sample;
+  for (std::size_t i = 0; i < faults.size() && sample.size() < 192; i += 131)
+    if (result.detect_cycle[i] >= 0) sample.push_back(i);
+
+  bench::heading("Ablation: response compactors (LP, " +
+                 std::to_string(vectors) + " vectors, " +
+                 std::to_string(sample.size()) + " detected faults sampled)");
+  std::printf("  %-18s %10s %12s\n", "compactor", "aliased", "aliasing %");
+
+  const auto& out_bits = low.netlist.outputs().front();
+  const int w = static_cast<int>(out_bits.size());
+  for (const auto kind :
+       {bist::CompactorKind::Misr, bist::CompactorKind::OnesCount,
+        bist::CompactorKind::TransitionCount}) {
+    std::size_t aliased = 0;
+    std::string name;
+    for (const std::size_t fi : sample) {
+      gate::WordSim sim(low.netlist);
+      sim.add_fault(faults[fi].gate, faults[fi].site, faults[fi].stuck,
+                    1ull << 1);
+      auto good = bist::make_compactor(kind, w);
+      auto bad = bist::make_compactor(kind, w);
+      name = good->name();
+      for (const auto x : stim) {
+        sim.step_broadcast(x);
+        good->absorb(std::uint64_t(sim.lane_value(out_bits, 0)));
+        bad->absorb(std::uint64_t(sim.lane_value(out_bits, 1)));
+      }
+      if (good->signature() == bad->signature()) ++aliased;
+    }
+    std::printf("  %-18s %10zu %11.2f%%\n", name.c_str(), aliased,
+                100.0 * double(aliased) / double(sample.size()));
+  }
+
+  // Diagnostic sharpness of the MISR dictionary over a fault subsample.
+  std::vector<fault::Fault> sub;
+  for (std::size_t i = 0; i < faults.size(); i += 8) sub.push_back(faults[i]);
+  bist::FaultDictionary dict(low.netlist, sub, stim);
+  std::printf("\n  MISR fault dictionary over %zu faults: mean candidate "
+              "set %.2f, %zu signature-indistinct from good\n",
+              sub.size(), dict.mean_ambiguity(),
+              dict.indistinct_from_good());
+  bench::note("");
+  bench::note("expected: the MISR aliases ~never; ones/transition counts "
+              "alias a visible fraction — quantifying what the paper's "
+              "no-aliasing assumption glosses over.");
+  return 0;
+}

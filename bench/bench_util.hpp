@@ -1,0 +1,46 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Every binary regenerates one table or figure of the paper and prints
+// the measured rows next to the paper's published values. Absolute
+// numbers differ (our substrate re-derives the designs from scratch);
+// the *shape* — who wins, by what factor, where the crossovers fall —
+// is the reproduction target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <unistd.h>
+
+namespace fdbist::bench {
+
+/// Vector-budget divisor: set REPRO_FAST=1 for quick smoke runs (8x
+/// fewer vectors; numbers will differ from EXPERIMENTS.md).
+inline std::size_t budget(std::size_t full) {
+  const char* fast = std::getenv("REPRO_FAST");
+  if (fast != nullptr && fast[0] != '\0' && fast[0] != '0')
+    return full / 8 > 16 ? full / 8 : 16;
+  return full;
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+/// Progress ticker on stderr for long fault-simulation sweeps. Only
+/// emitted when stderr is an interactive terminal, so redirected bench
+/// logs stay free of carriage-return spam.
+inline void progress(const char* label, std::size_t done, std::size_t total) {
+  if (total == 0 || isatty(fileno(stderr)) == 0) return;
+  const int pct = static_cast<int>(100 * done / total);
+  std::fprintf(stderr, "\r  [%s] %3d%%", label, pct);
+  if (done >= total) std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+}
+
+} // namespace fdbist::bench

@@ -1,0 +1,41 @@
+// Microbenchmarks of the test-pattern generators: cost per generated
+// word. On-chip these are free; in simulation they gate how fast long
+// test sequences can be produced.
+#include <benchmark/benchmark.h>
+
+#include "tpg/generators.hpp"
+
+namespace {
+
+using namespace fdbist;
+
+template <tpg::GeneratorKind K>
+void BM_Generator(benchmark::State& state) {
+  auto gen = tpg::make_generator(K, 12);
+  for (auto _ : state) benchmark::DoNotOptimize(gen->next_raw());
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_Generator<tpg::GeneratorKind::Lfsr1>);
+BENCHMARK(BM_Generator<tpg::GeneratorKind::Lfsr2>);
+BENCHMARK(BM_Generator<tpg::GeneratorKind::LfsrD>);
+BENCHMARK(BM_Generator<tpg::GeneratorKind::LfsrM>);
+BENCHMARK(BM_Generator<tpg::GeneratorKind::Ramp>);
+
+void BM_SwitchedLfsr(benchmark::State& state) {
+  tpg::SwitchedLfsr gen(12, 2048, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next_raw());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchedLfsr);
+
+void BM_SineSource(benchmark::State& state) {
+  tpg::SineSource gen(12, 0.9, 0.01);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next_raw());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SineSource);
+
+} // namespace
+
+BENCHMARK_MAIN();

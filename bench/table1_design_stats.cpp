@@ -1,0 +1,38 @@
+// Reproduces Table 1: design statistics for the three reference filters
+// (adders, registers, in/coefficient/out widths, adder-fault count).
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "designs/reference.hpp"
+#include "fault/fault.hpp"
+#include "gate/lower.hpp"
+
+int main() {
+  using namespace fdbist;
+  bench::heading("Table 1: design statistics (paper vs measured)");
+  std::printf("  paper:    LP: 183 adders, 60 regs, 12/15/16 bits, 57148 faults\n");
+  std::printf("            BP: 161 adders, 58 regs, 12/14/16 bits, 50650 faults\n");
+  std::printf("            HP: 175 adders, 60 regs, 12/15/16 bits, 55042 faults\n\n");
+
+  std::printf("  %-6s %7s %6s %4s %6s %4s %8s %8s\n", "design", "adders",
+              "regs", "in", "coef", "out", "gates", "faults");
+  for (const auto f :
+       {designs::ReferenceFilter::Lowpass, designs::ReferenceFilter::Bandpass,
+        designs::ReferenceFilter::Highpass}) {
+    const auto d = designs::make_reference(f);
+    const auto s = d.stats();
+    const auto low = gate::lower(d.graph);
+    const auto faults = fault::enumerate_adder_faults(low);
+    std::printf("  %-6s %7zu %6zu %4d %6d %4d %8zu %8zu\n", d.name.c_str(),
+                s.adders, s.registers, s.width_in, s.width_coef, s.width_out,
+                low.netlist.logic_gate_count(), faults.size());
+  }
+  bench::note("");
+  bench::note("fault counts land near half the paper's: redundant "
+              "sign-extension/constant cells are folded away and duplicated "
+              "CSD logic is shared during lowering (the paper's "
+              "redundant-operator-elimination step), leaving a universe with "
+              "no structurally undetectable sites. Relative design "
+              "complexity matches the paper.");
+  return 0;
+}

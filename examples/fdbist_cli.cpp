@@ -1,0 +1,185 @@
+// fdbist_cli — command-line driver over the whole library.
+//
+//   fdbist_cli design   <lowpass|highpass|bandpass> <taps> <f1> [f2]
+//   fdbist_cli analyze  <lp|bp|hp>
+//   fdbist_cli faultsim <lp|bp|hp> <generator> <vectors>
+//   fdbist_cli spectra  <generator> [samples]
+//   fdbist_cli export   <lp|bp|hp> <verilog|dot>
+//
+// Generators: lfsr1 lfsr2 lfsrd lfsrm ramp mixed.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "analysis/compatibility.hpp"
+#include "analysis/variance.hpp"
+#include "bist/kit.hpp"
+#include "designs/reference.hpp"
+#include "dsp/spectrum.hpp"
+#include "gate/verilog.hpp"
+#include "rtl/dot_export.hpp"
+#include "tpg/generators.hpp"
+
+namespace {
+
+using namespace fdbist;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  fdbist_cli design   <lowpass|highpass|bandpass> <taps> "
+               "<f1> [f2]\n"
+               "  fdbist_cli analyze  <lp|bp|hp>\n"
+               "  fdbist_cli faultsim <lp|bp|hp> <generator> <vectors>\n"
+               "  fdbist_cli spectra  <generator> [samples]\n"
+               "  fdbist_cli export   <lp|bp|hp> <verilog|dot>\n"
+               "generators: lfsr1 lfsr2 lfsrd lfsrm ramp mixed\n");
+  return 2;
+}
+
+std::optional<designs::ReferenceFilter> parse_design(const char* s) {
+  if (std::strcmp(s, "lp") == 0) return designs::ReferenceFilter::Lowpass;
+  if (std::strcmp(s, "bp") == 0) return designs::ReferenceFilter::Bandpass;
+  if (std::strcmp(s, "hp") == 0) return designs::ReferenceFilter::Highpass;
+  return std::nullopt;
+}
+
+std::unique_ptr<tpg::Generator> parse_generator(const std::string& s,
+                                                std::size_t vectors) {
+  if (s == "lfsr1") return tpg::make_generator(tpg::GeneratorKind::Lfsr1);
+  if (s == "lfsr2") return tpg::make_generator(tpg::GeneratorKind::Lfsr2);
+  if (s == "lfsrd") return tpg::make_generator(tpg::GeneratorKind::LfsrD);
+  if (s == "lfsrm") return tpg::make_generator(tpg::GeneratorKind::LfsrM);
+  if (s == "ramp") return tpg::make_generator(tpg::GeneratorKind::Ramp);
+  if (s == "mixed")
+    return std::make_unique<tpg::SwitchedLfsr>(12, vectors / 2, 1);
+  return nullptr;
+}
+
+int cmd_design(int argc, char** argv) {
+  if (argc < 4) return usage();
+  dsp::FirSpec spec;
+  spec.taps = static_cast<std::size_t>(std::stoul(argv[2]));
+  spec.f1 = std::stod(argv[3]);
+  spec.kaiser_beta = 6.0;
+  if (std::strcmp(argv[1], "lowpass") == 0) {
+    spec.kind = dsp::FilterKind::Lowpass;
+  } else if (std::strcmp(argv[1], "highpass") == 0) {
+    spec.kind = dsp::FilterKind::Highpass;
+  } else if (std::strcmp(argv[1], "bandpass") == 0) {
+    if (argc < 5) return usage();
+    spec.kind = dsp::FilterKind::Bandpass;
+    spec.f2 = std::stod(argv[4]);
+  } else {
+    return usage();
+  }
+  auto h = dsp::design_fir(spec);
+  const double scale = 0.98 / dsp::l1_norm(h);
+  for (double& v : h) v *= scale;
+  const auto d = rtl::build_fir(h, {}, argv[1]);
+  const auto s = d.stats();
+  std::printf("%s: %zu taps, %zu adders, %zu registers, widths "
+              "%d/%d/%d\n",
+              argv[1], spec.taps, s.adders, s.registers, s.width_in,
+              s.width_coef, s.width_out);
+  std::printf("recommended generator: %s\n",
+              tpg::kind_name(analysis::recommend_generator(d)));
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const auto which = parse_design(argv[1]);
+  if (!which) return usage();
+  const auto d = designs::make_reference(*which);
+  std::printf("design %s: %zu adders\n", d.name.c_str(),
+              d.stats().adders);
+  const auto sigma = analysis::predict_sigma_lfsr1(d, 12);
+  const auto problems = analysis::find_attenuation_problems(d, sigma);
+  std::printf("LFSR-1 attenuation screen: %zu adders flagged\n",
+              problems.size());
+  for (std::size_t i = 0; i < problems.size() && i < 10; ++i)
+    std::printf("  %-16s sigma/range %.4f -> ~%d hard upper bits\n",
+                d.graph.node(problems[i].node).name.c_str(),
+                problems[i].relative, problems[i].untestable_upper_bits);
+  std::printf("recommendation: %s\n",
+              tpg::kind_name(analysis::recommend_generator(d)));
+  return 0;
+}
+
+int cmd_faultsim(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto which = parse_design(argv[1]);
+  const std::size_t vectors = std::stoul(argv[3]);
+  auto gen = parse_generator(argv[2], vectors);
+  if (!which || !gen || vectors == 0) return usage();
+  const auto d = designs::make_reference(*which);
+  bist::BistKit kit(d);
+  const auto report = kit.evaluate(*gen, vectors);
+  std::printf("%s + %s, %zu vectors: coverage %.3f%% (%zu/%zu), "
+              "missed %zu, golden signature %08X\n",
+              d.name.c_str(), gen->name().c_str(), vectors,
+              100 * report.coverage(), report.detected,
+              report.total_faults, report.missed(),
+              report.golden_signature);
+  return 0;
+}
+
+int cmd_spectra(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::size_t samples =
+      argc > 2 ? std::stoul(argv[2]) : std::size_t{1} << 14;
+  auto gen = parse_generator(argv[1], samples);
+  if (!gen) return usage();
+  const auto x = gen->generate_real(samples);
+  dsp::WelchOptions opt;
+  const auto psd = dsp::welch_psd(x, opt);
+  const auto db = dsp::to_db(psd);
+  const auto f = dsp::welch_frequencies(opt);
+  for (std::size_t k = 0; k < psd.size(); k += 4)
+    std::printf("%.4f %8.2f\n", f[k], db[k]);
+  return 0;
+}
+
+int cmd_export(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto which = parse_design(argv[1]);
+  if (!which) return usage();
+  const auto d = designs::make_reference(*which);
+  if (std::strcmp(argv[2], "verilog") == 0) {
+    const auto low = gate::lower(d.graph);
+    gate::VerilogOptions opt;
+    opt.module_name = "fdbist_" + d.name;
+    gate::write_verilog(std::cout, low.netlist, opt);
+    return 0;
+  }
+  if (std::strcmp(argv[2], "dot") == 0) {
+    rtl::write_dot(std::cout, d.graph, {d.name, true});
+    return 0;
+  }
+  return usage();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "design") == 0)
+      return cmd_design(argc - 1, argv + 1);
+    if (std::strcmp(argv[1], "analyze") == 0)
+      return cmd_analyze(argc - 1, argv + 1);
+    if (std::strcmp(argv[1], "faultsim") == 0)
+      return cmd_faultsim(argc - 1, argv + 1);
+    if (std::strcmp(argv[1], "spectra") == 0)
+      return cmd_spectra(argc - 1, argv + 1);
+    if (std::strcmp(argv[1], "export") == 0)
+      return cmd_export(argc - 1, argv + 1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

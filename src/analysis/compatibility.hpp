@@ -1,0 +1,75 @@
+// Frequency-domain generator/filter compatibility (paper Section 6.1,
+// Table 3).
+//
+// The output variance of the CUT under a generator is estimated as
+//   sigma_y^2 = (1/L) sum_k |G[k]|^2 |H[k]|^2          (paper, Sec. 6.1)
+// where G is the generator's discrete power spectrum and H the filter's
+// DFT. A generator is compatible when it delivers passband power
+// comparable to a flat-spectrum generator of the same total power; a
+// shape mismatch starves the passband and is flagged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/fir_builder.hpp"
+#include "tpg/generator.hpp"
+
+namespace fdbist::analysis {
+
+enum class Compatibility {
+  Good,      ///< '+' in Table 3
+  Marginal,  ///< '±' — depends on design specifics
+  Poor,      ///< '-'
+};
+
+const char* compatibility_symbol(Compatibility c); ///< "+", "±", "-"
+
+struct CompatibilityResult {
+  double sigma_y2 = 0.0;    ///< estimated CUT output variance
+  double generator_power = 0.0; ///< total generator signal power
+  /// sigma_y^2 normalized by (generator power * filter white-noise
+  /// gain): 1.0 means the generator's spectrum shape is a perfect match
+  /// for a flat generator of the same power.
+  double efficiency = 0.0;
+  Compatibility rating = Compatibility::Good;
+};
+
+struct CompatibilityOptions {
+  std::size_t psd_samples = 1u << 16; ///< generator samples for Welch PSD
+  std::size_t segment = 256;          ///< Welch segment (power of two)
+  /// Rating thresholds on spectral efficiency. Calibrated so the five
+  /// standard generators reproduce the paper's Table 3 on the three
+  /// reference designs: a flat spectrum scores ~1.0; the Type 1 LFSR on
+  /// the narrow lowpass scores ~0.07 ('-'); the Type 2 LFSR's smaller
+  /// rolloff scores ~0.10 ('±' — the paper calls it design-dependent).
+  double good_threshold = 0.55; ///< efficiency >= this: '+'
+  double poor_threshold = 0.09; ///< efficiency < this: '-'
+};
+
+/// Empirical PSD of a generator (Welch over a generated sequence).
+std::vector<double> generator_psd(tpg::Generator& gen,
+                                  const CompatibilityOptions& opt = {});
+
+/// Rate a generator against a filter's quantized impulse response.
+CompatibilityResult rate_compatibility(tpg::Generator& gen,
+                                       const std::vector<double>& h,
+                                       const CompatibilityOptions& opt = {});
+
+/// One row of Table 3: a generator rated against all provided designs.
+struct CompatibilityRow {
+  std::string generator;
+  std::vector<CompatibilityResult> per_design;
+};
+
+/// The full Table 3 matrix for the standard five generators.
+std::vector<CompatibilityRow> compatibility_matrix(
+    const std::vector<rtl::FilterDesign>& designs,
+    const CompatibilityOptions& opt = {});
+
+/// Recommend the standard generator with the highest estimated output
+/// variance for the design (ties broken toward lower hardware cost).
+tpg::GeneratorKind recommend_generator(const rtl::FilterDesign& d,
+                                       const CompatibilityOptions& opt = {});
+
+} // namespace fdbist::analysis

@@ -1,0 +1,147 @@
+#include "analysis/targeted.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "rtl/linear_model.hpp"
+
+namespace fdbist::analysis {
+
+std::vector<std::int64_t> worst_case_window(const rtl::FilterDesign& d,
+                                            rtl::NodeId node) {
+  FDBIST_REQUIRE(node >= 0 && std::size_t(node) < d.linear.size(),
+                 "node id out of range");
+  const auto& h = d.linear[std::size_t(node)].impulse;
+  const fx::Format in_fmt = d.graph.node(d.input).fmt;
+  const std::int64_t hi = in_fmt.raw_max();
+  const std::int64_t lo = in_fmt.raw_min();
+
+  // value(T) = sum_i h[i] x[T-i]: choosing x[T-i] = sign(h[i]) * max
+  // attains the L1 bound at cycle T = |h| - 1. Emit the window twice,
+  // sign-flipped the second time, to hit both test-zone polarities.
+  std::vector<std::int64_t> out;
+  out.reserve(2 * h.size());
+  for (int polarity : {+1, -1}) {
+    for (std::size_t t = 0; t < h.size(); ++t) {
+      const double hi_coef = h[h.size() - 1 - t];
+      const bool positive = (hi_coef >= 0.0) == (polarity > 0);
+      out.push_back(positive ? hi : lo);
+    }
+  }
+  return out;
+}
+
+std::vector<std::int64_t> targeted_test_sequence(
+    const rtl::FilterDesign& d, const std::vector<rtl::NodeId>& nodes) {
+  const std::vector<rtl::NodeId>& targets =
+      nodes.empty() ? d.structural_adders : nodes;
+  FDBIST_REQUIRE(!targets.empty(), "no target nodes");
+  std::vector<std::int64_t> out;
+  for (const rtl::NodeId n : targets) {
+    const auto w = worst_case_window(d, n);
+    out.insert(out.end(), w.begin(), w.end());
+  }
+  return out;
+}
+
+std::vector<std::int64_t> zone_window(const rtl::FilterDesign& d,
+                                      rtl::NodeId adder, DifficultTest t) {
+  const rtl::Node& nd = d.graph.node(adder);
+  FDBIST_REQUIRE(nd.kind == rtl::OpKind::Add || nd.kind == rtl::OpKind::Sub,
+                 "zone windows target adders");
+  if (is_overflow_test(t)) return {}; // unreachable under L1 scaling
+
+  // Identify primary (high-variance) and secondary operands, and the
+  // *signed* secondary contribution to the sum (a subtractor's B enters
+  // negatively).
+  const auto gains = rtl::variance_gains(d.linear);
+  const bool a_primary =
+      gains[std::size_t(nd.a)] >= gains[std::size_t(nd.b)];
+  const rtl::NodeId primary = a_primary ? nd.a : nd.b;
+  const rtl::NodeId secondary = a_primary ? nd.b : nd.a;
+  const double sec_sign =
+      (nd.kind == rtl::OpKind::Sub && secondary == nd.b) ? -1.0 : 1.0;
+
+  const auto& ha = d.linear[std::size_t(primary)].impulse;
+  auto hb = d.linear[std::size_t(secondary)].impulse; // copy: apply sign
+  for (double& v : hb) v *= sec_sign;
+  if (ha.empty() || hb.empty()) return {};
+
+  const fx::Format in_fmt = d.graph.node(d.input).fmt;
+  const double xmax = in_fmt.to_real(in_fmt.raw_max());
+  const double full =
+      std::ldexp(1.0, nd.fmt.width - 1 - nd.fmt.frac);
+
+  // Maximum secondary push and the sign it needs for this class:
+  // T1a/T1b need B > 0 (sum crosses above A); T6a/T6b need B < 0.
+  const bool b_positive = t == DifficultTest::T1a ||
+                          t == DifficultTest::T1b ||
+                          t == DifficultTest::T2a ||
+                          t == DifficultTest::T5a;
+  double b_reach = 0.0;
+  for (const double v : hb) b_reach += std::abs(v) * xmax;
+  if (b_reach <= 0.0) return {};
+
+  // Primary target inside the zone, with half the secondary reach as
+  // margin against truncation slack and input quantization.
+  double a_target = 0.0;
+  switch (t) {
+  case DifficultTest::T1a: a_target = (0.5 * full) - 0.5 * b_reach; break;
+  case DifficultTest::T1b: a_target = (-0.5 * full) - 0.5 * b_reach; break;
+  case DifficultTest::T6a: a_target = (-0.5 * full) + 0.5 * b_reach; break;
+  case DifficultTest::T6b: a_target = (0.5 * full) + 0.5 * b_reach; break;
+  case DifficultTest::T2a: a_target = 0.4 * b_reach; break;
+  case DifficultTest::T5a: a_target = -0.4 * b_reach; break;
+  default: return {};
+  }
+
+  const std::size_t len = std::max(ha.size(), hb.size());
+  // Secondary support claims its indices first.
+  std::vector<char> claimed(len, 0);
+  std::vector<double> xr(len, 0.0); // real input values, time-reversed idx
+  double a_fixed = 0.0;
+  for (std::size_t i = 0; i < hb.size(); ++i) {
+    if (hb[i] == 0.0) continue;
+    const double s = (hb[i] >= 0.0) == b_positive ? 1.0 : -1.0;
+    xr[i] = s * xmax;
+    claimed[i] = 1;
+    if (i < ha.size()) a_fixed += ha[i] * xr[i];
+  }
+  double a_room = 0.0;
+  for (std::size_t i = 0; i < ha.size(); ++i)
+    if (!claimed[i]) a_room += std::abs(ha[i]) * xmax;
+  if (a_room <= 0.0) return {};
+  const double beta = (a_target - a_fixed) / a_room;
+  if (std::abs(beta) > 1.0) return {}; // zone beyond the amplitude bound
+  for (std::size_t i = 0; i < ha.size(); ++i)
+    if (!claimed[i] && ha[i] != 0.0)
+      xr[i] = (ha[i] >= 0.0 ? 1.0 : -1.0) * beta * xmax;
+
+  // Emit in forward time: x[t] pairs with impulse index len-1-t.
+  std::vector<std::int64_t> out;
+  out.reserve(len);
+  for (std::size_t t_fwd = 0; t_fwd < len; ++t_fwd)
+    out.push_back(fx::from_real(xr[len - 1 - t_fwd], in_fmt));
+  return out;
+}
+
+std::vector<std::int64_t> zone_targeted_sequence(
+    const rtl::FilterDesign& d, const std::vector<rtl::NodeId>& nodes) {
+  const std::vector<rtl::NodeId>& targets =
+      nodes.empty() ? d.structural_adders : nodes;
+  FDBIST_REQUIRE(!targets.empty(), "no target nodes");
+  std::vector<std::int64_t> out;
+  for (const rtl::NodeId n : targets) {
+    for (const auto t : {DifficultTest::T1a, DifficultTest::T1b,
+                         DifficultTest::T6a, DifficultTest::T6b}) {
+      const auto w = zone_window(d, n, t);
+      out.insert(out.end(), w.begin(), w.end());
+      // A short flush keeps windows from interfering with each other.
+      out.insert(out.end(), 4, 0);
+    }
+  }
+  return out;
+}
+
+} // namespace fdbist::analysis

@@ -1,0 +1,51 @@
+// Deterministic targeted test generation ("deterministic BIST", paper
+// Section 10).
+//
+// The difficult T1/T6 tests at an adder fire only when the signal
+// approaches half of the adder's full-scale range (the Figure 1 zones).
+// Pseudorandom sources reach those zones rarely — or never, when the
+// generator's spectrum starves the subfilter. But the worst-case input
+// is known in closed form: driving the input with the sign pattern of
+// the node's (time-reversed) impulse response pushes the node to its L1
+// amplitude bound. This module emits such worst-case windows for chosen
+// nodes, in both polarities, as a deterministic top-off sequence to
+// append after a pseudorandom session.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/test_zones.hpp"
+#include "rtl/fir_builder.hpp"
+
+namespace fdbist::analysis {
+
+/// Worst-case excitation window for one node: raw input words that drive
+/// the node's value to +(L1 bound) at the window's end, then to the
+/// negated bound (both polarities are needed: T1a/T6b live near +0.5 of
+/// full scale, T1b/T6a near -0.5).
+std::vector<std::int64_t> worst_case_window(const rtl::FilterDesign& d,
+                                            rtl::NodeId node);
+
+/// Concatenated worst-case windows for all listed nodes. With an empty
+/// list, targets every structural (tap-combining) adder in the design —
+/// the carriers of the paper's difficult faults.
+std::vector<std::int64_t> targeted_test_sequence(
+    const rtl::FilterDesign& d, const std::vector<rtl::NodeId>& nodes = {});
+
+/// Zone-targeted window for one difficult test class (Table 2) at one
+/// adder: scales the primary input's worst-case drive so it lands
+/// *inside* the Figure 1 zone at the decision cycle, while the secondary
+/// operand is driven to push the sum across the half-scale boundary.
+/// Returns an empty vector when the class is unreachable at this adder
+/// (e.g. the overflow classes T2b/T5b under conservative scaling, or a
+/// zone beyond the primary's amplitude bound).
+std::vector<std::int64_t> zone_window(const rtl::FilterDesign& d,
+                                      rtl::NodeId adder, DifficultTest t);
+
+/// All reachable T1/T6 windows (the classes pseudorandom tests miss) for
+/// the listed adders (default: every structural adder).
+std::vector<std::int64_t> zone_targeted_sequence(
+    const rtl::FilterDesign& d, const std::vector<rtl::NodeId>& nodes = {});
+
+} // namespace fdbist::analysis

@@ -1,0 +1,100 @@
+#include "analysis/test_length.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/lfsr_model.hpp"
+#include "common/check.hpp"
+#include "dsp/convolution.hpp"
+#include "rtl/linear_model.hpp"
+
+namespace fdbist::analysis {
+
+namespace {
+
+constexpr DifficultTest kAllTests[] = {
+    DifficultTest::T1a, DifficultTest::T1b, DifficultTest::T2a,
+    DifficultTest::T2b, DifficultTest::T5a, DifficultTest::T5b,
+    DifficultTest::T6a, DifficultTest::T6b};
+
+} // namespace
+
+std::vector<ZoneProbability> predict_zone_probabilities(
+    const rtl::FilterDesign& d, rtl::NodeId adder, tpg::GeneratorKind kind,
+    int lfsr_width) {
+  const rtl::Node& nd = d.graph.node(adder);
+  FDBIST_REQUIRE(nd.kind == rtl::OpKind::Add || nd.kind == rtl::OpKind::Sub,
+                 "zone probabilities apply to adders");
+  FDBIST_REQUIRE(kind == tpg::GeneratorKind::Lfsr1 ||
+                     kind == tpg::GeneratorKind::Lfsr2 ||
+                     kind == tpg::GeneratorKind::LfsrD,
+                 "supported models: LFSR-1 (linear model) and LFSR-2/D "
+                 "(independent uniform)");
+
+  const auto gains = rtl::variance_gains(d.linear);
+  const bool a_primary =
+      gains[std::size_t(nd.a)] >= gains[std::size_t(nd.b)];
+  const rtl::NodeId primary = a_primary ? nd.a : nd.b;
+  const rtl::NodeId secondary = a_primary ? nd.b : nd.a;
+
+  // Primary amplitude density under the generator model.
+  DistributionOptions dopt;
+  dopt.cells = 2048;
+  DensityEstimate density;
+  if (kind == tpg::GeneratorKind::Lfsr1) {
+    const auto w = dsp::convolve(d.linear[std::size_t(primary)].impulse,
+                                 lfsr1_impulse_model(lfsr_width));
+    density = predict_distribution(w, SourceModel::Bernoulli01, dopt);
+  } else {
+    density = predict_distribution(d.linear[std::size_t(primary)].impulse,
+                                   SourceModel::UniformSymmetric, dopt);
+  }
+
+  const double full = std::ldexp(1.0, nd.fmt.width - 1 - nd.fmt.frac);
+  double b_max = d.linear[std::size_t(secondary)].l1_bound / full;
+  if (b_max > 0.5) b_max = 0.5;
+
+  // Map each test class to its primary-input zone; the secondary must
+  // additionally take the pushing sign (probability ~1/2) and enough
+  // magnitude — we fold both into the conventional 1/2 factor, which
+  // distribution-based analyses use as the symmetric-source default.
+  const auto zones = primary_input_zones(b_max);
+  std::vector<ZoneProbability> out;
+  for (const DifficultTest t : kAllTests) {
+    ZoneProbability zp;
+    zp.test = t;
+    if (!is_overflow_test(t)) {
+      for (const auto& z : zones) {
+        if (z.test != t) continue;
+        zp.per_cycle = 0.5 * density.mass(z.lo * full, z.hi * full);
+      }
+    }
+    zp.expected_vectors = zp.per_cycle > 0.0
+                              ? 1.0 / zp.per_cycle
+                              : std::numeric_limits<double>::infinity();
+    out.push_back(zp);
+  }
+  return out;
+}
+
+std::vector<ZoneProbability> measure_zone_probabilities(
+    const rtl::FilterDesign& d, rtl::NodeId adder,
+    std::span<const std::int64_t> stimulus) {
+  const auto counts = monitor_test_zones(d, stimulus, {adder}).front();
+  std::vector<ZoneProbability> out;
+  for (const DifficultTest t : kAllTests) {
+    ZoneProbability zp;
+    zp.test = t;
+    zp.per_cycle = counts.cycles == 0
+                       ? 0.0
+                       : static_cast<double>(counts.count(t)) /
+                             static_cast<double>(counts.cycles);
+    zp.expected_vectors = zp.per_cycle > 0.0
+                              ? 1.0 / zp.per_cycle
+                              : std::numeric_limits<double>::infinity();
+    out.push_back(zp);
+  }
+  return out;
+}
+
+} // namespace fdbist::analysis

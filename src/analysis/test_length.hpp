@@ -1,0 +1,45 @@
+// Expected-test-length prediction for the difficult tests (paper
+// Section 4, building on the distribution analysis of [5]).
+//
+// A difficult test fires in a cycle when the primary input lands in its
+// Figure 1 zone and the secondary input pushes the sum across the
+// boundary with the right sign. With the primary's amplitude density
+// predicted from the generator's linear model, the per-cycle assertion
+// probability is the zone mass times the probability of a favourable
+// secondary; the expected test length is its geometric-distribution
+// mean. This quantifies the paper's observation that variance-mismatch
+// faults need at most a few thousand vectors while excess-headroom
+// faults can need hundreds of thousands or more.
+#pragma once
+
+#include <vector>
+
+#include "analysis/distribution.hpp"
+#include "analysis/test_zones.hpp"
+#include "rtl/fir_builder.hpp"
+#include "tpg/generator.hpp"
+
+namespace fdbist::analysis {
+
+struct ZoneProbability {
+  DifficultTest test = DifficultTest::T1a;
+  double per_cycle = 0.0;        ///< P{asserted in one cycle}
+  double expected_vectors = 0.0; ///< 1 / per_cycle (inf if unreachable)
+};
+
+/// Predicted assertion probability for each non-overflow difficult test
+/// at `adder`, under the given generator model: Lfsr1 uses the paper's
+/// LFSR linear model; LfsrD/Lfsr2 the idealized independent-uniform
+/// model; LfsrM is not distribution-smooth (use simulation). The
+/// overflow classes (T2b/T5b) are reported with probability 0.
+std::vector<ZoneProbability> predict_zone_probabilities(
+    const rtl::FilterDesign& d, rtl::NodeId adder, tpg::GeneratorKind kind,
+    int lfsr_width = 12);
+
+/// Measured assertion rates over a stimulus, in the same shape, for
+/// side-by-side validation.
+std::vector<ZoneProbability> measure_zone_probabilities(
+    const rtl::FilterDesign& d, rtl::NodeId adder,
+    std::span<const std::int64_t> stimulus);
+
+} // namespace fdbist::analysis

@@ -1,0 +1,114 @@
+#include "analysis/test_zones.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "rtl/sim.hpp"
+
+namespace fdbist::analysis {
+
+const char* difficult_test_name(DifficultTest t) {
+  switch (t) {
+  case DifficultTest::T1a: return "T1a";
+  case DifficultTest::T1b: return "T1b";
+  case DifficultTest::T2a: return "T2a";
+  case DifficultTest::T2b: return "T2b";
+  case DifficultTest::T5a: return "T5a";
+  case DifficultTest::T5b: return "T5b";
+  case DifficultTest::T6a: return "T6a";
+  case DifficultTest::T6b: return "T6b";
+  }
+  return "?";
+}
+
+bool is_overflow_test(DifficultTest t) {
+  return t == DifficultTest::T2b || t == DifficultTest::T5b;
+}
+
+int TestZoneCounts::missing_classes(bool ignore_overflow) const {
+  int missing = 0;
+  for (std::size_t i = 0; i < kDifficultTestCount; ++i) {
+    const auto t = static_cast<DifficultTest>(i);
+    if (ignore_overflow && is_overflow_test(t)) continue;
+    if (counts[i] == 0) ++missing;
+  }
+  return missing;
+}
+
+std::uint32_t classify_cycle(double a, double s) {
+  auto bit = [](DifficultTest t) {
+    return std::uint32_t{1} << static_cast<std::uint32_t>(t);
+  };
+  std::uint32_t m = 0;
+  if (a >= 0.0 && a < 0.5) {
+    if (s >= 0.5) m |= bit(DifficultTest::T1a);
+    if (s < 0.0) m |= bit(DifficultTest::T2a);
+  } else if (a < -0.5) {
+    if (s >= -0.5) m |= bit(DifficultTest::T1b);
+    if (s >= 0.5) m |= bit(DifficultTest::T2b); // overflow class
+  } else if (a >= -0.5 && a < 0.0) {
+    if (s >= 0.0) m |= bit(DifficultTest::T5a);
+    if (s < -0.5) m |= bit(DifficultTest::T6a);
+  } else { // a >= 0.5
+    if (s < -0.5) m |= bit(DifficultTest::T5b); // overflow class
+    if (s < 0.5) m |= bit(DifficultTest::T6b);
+  }
+  return m;
+}
+
+std::vector<TestZoneCounts> monitor_test_zones(
+    const rtl::FilterDesign& d, std::span<const std::int64_t> stimulus,
+    const std::vector<rtl::NodeId>& adders) {
+  const auto gains = rtl::variance_gains(d.linear);
+
+  std::vector<TestZoneCounts> out;
+  out.reserve(adders.size());
+  for (const rtl::NodeId id : adders) {
+    const rtl::Node& nd = d.graph.node(id);
+    FDBIST_REQUIRE(nd.kind == rtl::OpKind::Add || nd.kind == rtl::OpKind::Sub,
+                   "test-zone monitoring applies to adders");
+    TestZoneCounts c;
+    c.adder = id;
+    const bool a_primary =
+        gains[std::size_t(nd.a)] >= gains[std::size_t(nd.b)];
+    c.primary = a_primary ? nd.a : nd.b;
+    c.secondary = a_primary ? nd.b : nd.a;
+    out.push_back(c);
+  }
+
+  rtl::Simulator sim(d.graph);
+  for (const std::int64_t x : stimulus) {
+    sim.step(x);
+    for (TestZoneCounts& c : out) {
+      const fx::Format fmt = d.graph.node(c.adder).fmt;
+      const double full = std::ldexp(1.0, fmt.width - 1 - fmt.frac);
+      // The secondary operand's sign is part of the effective B (a
+      // subtractor's B contributes negatively); classification only
+      // needs A and the sum, so operate on those.
+      const double a = sim.real(c.primary) / full;
+      const double s = sim.real(c.adder) / full;
+      const std::uint32_t m = classify_cycle(a, s);
+      for (std::size_t i = 0; i < kDifficultTestCount; ++i)
+        if (m & (std::uint32_t{1} << i)) ++c.counts[i];
+      ++c.cycles;
+    }
+  }
+  return out;
+}
+
+std::vector<TestZone> primary_input_zones(double b_max) {
+  FDBIST_REQUIRE(b_max >= 0.0 && b_max <= 0.5,
+                 "secondary magnitude must lie in [0, 0.5]");
+  // A difficult test fires when A is within b_max of the relevant
+  // quarter-scale boundary (Figure 1's shaded zones).
+  return {
+      {0.5 - b_max, 0.5, DifficultTest::T1a},
+      {-0.5 - b_max, -0.5, DifficultTest::T1b},
+      {0.0, b_max, DifficultTest::T2a},
+      {-0.5, -0.5 + b_max, DifficultTest::T6a},
+      {-b_max, 0.0, DifficultTest::T5a},
+      {0.5, 0.5 + b_max, DifficultTest::T6b},
+  };
+}
+
+} // namespace fdbist::analysis

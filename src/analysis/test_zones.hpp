@@ -1,0 +1,75 @@
+// Difficult-test classification at adder next-to-MSB carry logic (paper
+// Section 4, Table 2, Figure 1).
+//
+// For a variance-mismatched adder with high-variance primary input A and
+// low-variance secondary input B, the four difficult test equivalence
+// classes at the next-to-MSB cell are (values normalized to the adder's
+// full-scale range [-1, 1)):
+//
+//   T1a: 0 <= A < 0.5  and  A+B >= 0.5      T1b: A < -0.5 and A+B >= -0.5
+//   T2a: 0 <= A < 0.5  and  A+B < 0         T2b: A < -0.5 and A+B >= 0.5 (ovf)
+//   T5a: -0.5 <= A < 0 and  A+B >= 0        T5b: A >= 0.5 and A+B < -0.5 (ovf)
+//   T6a: -0.5 <= A < 0 and  A+B < -0.5      T6b: A >= 0.5 and A+B < 0.5
+//
+// This monitor counts, per simulated cycle, which classes a given adder
+// asserts, which tells the test engineer whether the difficult tests are
+// ever applied — independently of overall fault coverage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rtl/fir_builder.hpp"
+#include "rtl/graph.hpp"
+
+namespace fdbist::analysis {
+
+enum class DifficultTest : std::uint8_t { T1a, T1b, T2a, T2b, T5a, T5b, T6a, T6b };
+inline constexpr std::size_t kDifficultTestCount = 8;
+
+const char* difficult_test_name(DifficultTest t);
+
+/// True if the test class is an overflow test (T2b / T5b): unreachable in
+/// a conservatively scaled adder, hence near-redundant by construction.
+bool is_overflow_test(DifficultTest t);
+
+/// Assertion counts for one adder over a stimulus.
+struct TestZoneCounts {
+  rtl::NodeId adder = rtl::kNoNode;
+  rtl::NodeId primary = rtl::kNoNode;   ///< high-variance operand
+  rtl::NodeId secondary = rtl::kNoNode; ///< low-variance operand
+  std::array<std::uint64_t, kDifficultTestCount> counts{};
+  std::uint64_t cycles = 0;
+
+  std::uint64_t count(DifficultTest t) const {
+    return counts[static_cast<std::size_t>(t)];
+  }
+  /// Number of the eight classes never asserted.
+  int missing_classes(bool ignore_overflow = true) const;
+};
+
+/// Classify one cycle given normalized primary value a and normalized sum
+/// s (both relative to the adder's full scale); returns a bitmask over
+/// DifficultTest values.
+std::uint32_t classify_cycle(double a, double s);
+
+/// Run the design over a stimulus and count difficult-test assertions at
+/// each requested adder. Primary/secondary operands are identified by
+/// predicted white-noise variance.
+std::vector<TestZoneCounts> monitor_test_zones(
+    const rtl::FilterDesign& d, std::span<const std::int64_t> stimulus,
+    const std::vector<rtl::NodeId>& adders);
+
+/// The Figure 1 test zones: amplitude intervals of the primary input that
+/// can assert difficult tests, given the secondary input's maximum
+/// magnitude `b_max` (zone width is proportional to secondary variance).
+struct TestZone {
+  double lo = 0.0;
+  double hi = 0.0;
+  DifficultTest test = DifficultTest::T1a;
+};
+std::vector<TestZone> primary_input_zones(double b_max);
+
+} // namespace fdbist::analysis

@@ -1,0 +1,55 @@
+#include "bist/compactors.hpp"
+
+#include <bit>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace fdbist::bist {
+
+OnesCountCompactor::OnesCountCompactor(int word_width) : width_(word_width) {
+  FDBIST_REQUIRE(word_width >= 1 && word_width <= 63,
+                 "word width out of range");
+}
+
+void OnesCountCompactor::absorb(std::uint64_t word) {
+  count_ += static_cast<std::uint64_t>(
+      std::popcount(word & low_mask(width_)));
+}
+
+TransitionCountCompactor::TransitionCountCompactor(int word_width)
+    : width_(word_width) {
+  FDBIST_REQUIRE(word_width >= 1 && word_width <= 63,
+                 "word width out of range");
+}
+
+void TransitionCountCompactor::absorb(std::uint64_t word) {
+  word &= low_mask(width_);
+  if (has_prev_)
+    count_ += static_cast<std::uint64_t>(std::popcount(word ^ prev_));
+  prev_ = word;
+  has_prev_ = true;
+}
+
+void TransitionCountCompactor::reset() {
+  count_ = 0;
+  prev_ = 0;
+  has_prev_ = false;
+}
+
+std::unique_ptr<ResponseCompactor> make_compactor(CompactorKind kind,
+                                                  int word_width) {
+  switch (kind) {
+  case CompactorKind::Misr:
+    return std::make_unique<MisrCompactor>(
+        word_width < 2 ? 2 : (word_width > 31 ? 31 : word_width));
+  case CompactorKind::OnesCount:
+    return std::make_unique<OnesCountCompactor>(word_width);
+  case CompactorKind::TransitionCount:
+    return std::make_unique<TransitionCountCompactor>(word_width);
+  }
+  FDBIST_ASSERT(false, "unknown compactor kind");
+  return nullptr;
+}
+
+} // namespace fdbist::bist

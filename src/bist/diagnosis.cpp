@@ -1,0 +1,76 @@
+#include "bist/diagnosis.hpp"
+
+#include <algorithm>
+
+#include "bist/misr.hpp"
+#include "common/check.hpp"
+#include "gate/sim.hpp"
+
+namespace fdbist::bist {
+
+FaultDictionary::FaultDictionary(const gate::Netlist& nl,
+                                 std::span<const fault::Fault> faults,
+                                 std::span<const std::int64_t> stimulus,
+                                 int misr_width) {
+  FDBIST_REQUIRE(!stimulus.empty(), "empty stimulus");
+  FDBIST_REQUIRE(nl.inputs().size() == 1, "single-input designs only");
+  const auto& out_bits = nl.outputs().front();
+  FDBIST_REQUIRE(misr_width >= static_cast<int>(out_bits.size()),
+                 "MISR narrower than the response word");
+
+  signatures_.assign(faults.size(), 0);
+  constexpr std::size_t kLanes = 63;
+  gate::WordSim sim(nl);
+  for (std::size_t base = 0; base < faults.size() || base == 0;
+       base += kLanes) {
+    const std::size_t count =
+        faults.size() > base ? std::min(kLanes, faults.size() - base) : 0;
+    sim.reset();
+    sim.clear_faults();
+    for (std::size_t k = 0; k < count; ++k)
+      sim.add_fault(faults[base + k].gate, faults[base + k].site,
+                    faults[base + k].stuck, std::uint64_t{1} << (k + 1));
+
+    std::vector<Misr> misrs(count + 1, Misr(misr_width));
+    for (const std::int64_t x : stimulus) {
+      sim.step_broadcast(x);
+      for (std::size_t lane = 0; lane <= count; ++lane)
+        misrs[lane].absorb(static_cast<std::uint64_t>(
+            sim.lane_value(out_bits, static_cast<int>(lane))));
+    }
+    if (base == 0) good_signature_ = misrs[0].signature();
+    for (std::size_t k = 0; k < count; ++k)
+      signatures_[base + k] = misrs[k + 1].signature();
+    if (faults.empty()) break;
+  }
+
+  for (std::size_t i = 0; i < signatures_.size(); ++i)
+    index_[signatures_[i]].push_back(i);
+}
+
+std::span<const std::size_t> FaultDictionary::diagnose(
+    std::uint32_t sig) const {
+  const auto it = index_.find(sig);
+  if (it == index_.end()) return {};
+  return it->second;
+}
+
+std::size_t FaultDictionary::indistinct_from_good() const {
+  const auto it = index_.find(good_signature_);
+  return it == index_.end() ? 0 : it->second.size();
+}
+
+double FaultDictionary::mean_ambiguity() const {
+  std::size_t detected = 0;
+  std::size_t total_candidates = 0;
+  for (std::size_t i = 0; i < signatures_.size(); ++i) {
+    if (signatures_[i] == good_signature_) continue;
+    ++detected;
+    total_candidates += index_.at(signatures_[i]).size();
+  }
+  return detected == 0 ? 0.0
+                       : static_cast<double>(total_candidates) /
+                             static_cast<double>(detected);
+}
+
+} // namespace fdbist::bist

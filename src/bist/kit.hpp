@@ -1,0 +1,77 @@
+// End-to-end BIST evaluation kit: the top-level public API tying together
+// a filter design, a test generator, the fault engine, and the
+// frequency-domain analyses.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto design = designs::make_reference(designs::ReferenceFilter::Lowpass);
+//   bist::BistKit kit(design);
+//   auto gen = tpg::make_generator(analysis::recommend_generator(design));
+//   auto report = kit.evaluate(*gen, 4096);
+//   // report.coverage, report.missed, report.signature ...
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/compatibility.hpp"
+#include "bist/misr.hpp"
+#include "fault/simulator.hpp"
+#include "rtl/fir_builder.hpp"
+#include "tpg/generator.hpp"
+
+namespace fdbist::bist {
+
+/// Result of one BIST evaluation run.
+struct BistReport {
+  std::size_t vectors = 0;
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  std::uint32_t golden_signature = 0; ///< fault-free MISR signature
+  fault::FaultSimResult fault_result;
+
+  std::size_t missed() const { return total_faults - detected; }
+  double coverage() const { return fault_result.coverage(); }
+};
+
+class BistKit {
+public:
+  /// Lowers the design to gates and enumerates its (ordered) adder fault
+  /// universe once; the kit can then evaluate any number of generators.
+  explicit BistKit(const rtl::FilterDesign& design, int misr_width = 24);
+
+  const rtl::FilterDesign& design() const { return design_; }
+  const gate::LoweredDesign& lowered() const { return lowered_; }
+  const std::vector<fault::Fault>& faults() const { return faults_; }
+
+  /// Fault-free output trace for a stimulus (via the gate-level model).
+  std::vector<std::int64_t> golden_response(
+      std::span<const std::int64_t> stimulus) const;
+
+  /// Golden MISR signature for a stimulus.
+  std::uint32_t golden_signature(
+      std::span<const std::int64_t> stimulus) const;
+
+  /// Full evaluation: generate `vectors` patterns, fault simulate the
+  /// whole universe, compute the golden signature.
+  BistReport evaluate(tpg::Generator& gen, std::size_t vectors,
+                      const fault::FaultSimOptions& opt = {}) const;
+
+  /// Faults left undetected by a previous evaluation, with locations.
+  std::vector<fault::Fault> undetected_faults(
+      const fault::FaultSimResult& r) const;
+
+  /// True if injecting `f` changes the MISR signature for this stimulus
+  /// (i.e. compaction does not alias the fault away).
+  bool signature_detects(const fault::Fault& f,
+                         std::span<const std::int64_t> stimulus) const;
+
+private:
+  const rtl::FilterDesign& design_;
+  gate::LoweredDesign lowered_;
+  std::vector<fault::Fault> faults_;
+  int misr_width_;
+};
+
+} // namespace fdbist::bist

@@ -1,0 +1,33 @@
+#include "bist/misr.hpp"
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace fdbist::bist {
+
+Misr::Misr(int width, std::uint32_t seed)
+    : Misr(tpg::default_polynomial(width), seed) {}
+
+Misr::Misr(tpg::Polynomial poly, std::uint32_t seed)
+    : poly_(poly), seed_(seed & static_cast<std::uint32_t>(
+                                    low_mask(poly.degree))),
+      state_(seed_) {
+  FDBIST_REQUIRE(poly_.degree >= 2 && poly_.degree <= 31,
+                 "MISR width out of range");
+}
+
+void Misr::absorb(std::uint64_t word) {
+  const auto mask = static_cast<std::uint32_t>(low_mask(poly_.degree));
+  // Galois step (multiply by x) then inject the response word.
+  const bool carry = (state_ >> (poly_.degree - 1)) & 1u;
+  state_ = (state_ << 1) & mask;
+  if (carry) state_ ^= poly_.low_terms;
+  state_ ^= static_cast<std::uint32_t>(word) & mask;
+}
+
+void Misr::absorb_all(std::span<const std::int64_t> words) {
+  for (const std::int64_t w : words)
+    absorb(static_cast<std::uint64_t>(w));
+}
+
+} // namespace fdbist::bist

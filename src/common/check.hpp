@@ -1,0 +1,61 @@
+// Error-handling primitives shared by every fdbist module.
+//
+// Convention (per C++ Core Guidelines E.*): user-facing API misuse throws
+// std::invalid_argument / std::domain_error via FDBIST_REQUIRE; internal
+// invariants use FDBIST_ASSERT, which throws std::logic_error so that a
+// violated invariant is always observable in tests regardless of NDEBUG.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fdbist {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class precondition_error : public std::invalid_argument {
+public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated (a bug in fdbist itself).
+class invariant_error : public std::logic_error {
+public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+
+} // namespace detail
+} // namespace fdbist
+
+/// Validate a documented precondition of a public entry point.
+#define FDBIST_REQUIRE(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::fdbist::detail::throw_precondition(#expr, __FILE__, __LINE__,       \
+                                           (msg));                          \
+  } while (false)
+
+/// Validate an internal invariant; failure indicates a bug in fdbist.
+#define FDBIST_ASSERT(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::fdbist::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg));  \
+  } while (false)

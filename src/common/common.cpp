@@ -1,0 +1,10 @@
+// The common module is header-only; this translation unit exists so the
+// static library has at least one object file.
+#include "common/check.hpp"
+
+namespace fdbist {
+namespace {
+// Referenced nowhere; anchors the library archive.
+[[maybe_unused]] constexpr int kCommonAnchor = 0;
+} // namespace
+} // namespace fdbist

@@ -1,0 +1,67 @@
+#include "designs/reference.hpp"
+
+#include "common/check.hpp"
+
+namespace fdbist::designs {
+
+const char* reference_name(ReferenceFilter f) {
+  switch (f) {
+  case ReferenceFilter::Lowpass: return "LP";
+  case ReferenceFilter::Bandpass: return "BP";
+  case ReferenceFilter::Highpass: return "HP";
+  }
+  return "?";
+}
+
+ReferenceSpec reference_spec(ReferenceFilter f) {
+  ReferenceSpec s;
+  s.build.input_width = 12;
+  s.build.output_width = 16;
+  s.build.product_frac = 15;
+  switch (f) {
+  case ReferenceFilter::Lowpass:
+    // Narrow-band lowpass: passband well inside the Type 1 LFSR's
+    // low-frequency rolloff — the paper's problem case (Section 5).
+    s.fir = {dsp::FilterKind::Lowpass, 60, 0.045, 0.0, 5.65};
+    s.build.coef_width = 15;
+    break;
+  case ReferenceFilter::Bandpass:
+    // Mid-band, somewhat wider passband (paper Section 8 remarks the BP
+    // is slightly easier for wide-band generators).
+    s.fir = {dsp::FilterKind::Bandpass, 58, 0.19, 0.31, 5.65};
+    s.build.coef_width = 14;
+    break;
+  case ReferenceFilter::Highpass:
+    // 61 taps: type I so the response is nonzero at Nyquist.
+    s.fir = {dsp::FilterKind::Highpass, 61, 0.42, 0.0, 5.65};
+    s.build.coef_width = 15;
+    break;
+  }
+  return s;
+}
+
+std::vector<double> reference_coefficients(ReferenceFilter f) {
+  const ReferenceSpec spec = reference_spec(f);
+  auto h = dsp::design_fir(spec.fir);
+  const double l1 = dsp::l1_norm(h);
+  FDBIST_ASSERT(l1 > 0.0, "degenerate reference design");
+  const double scale = spec.l1_target / l1;
+  for (double& v : h) v *= scale;
+  return h;
+}
+
+rtl::FilterDesign make_reference(ReferenceFilter f) {
+  const ReferenceSpec spec = reference_spec(f);
+  return rtl::build_fir(reference_coefficients(f), spec.build,
+                        reference_name(f));
+}
+
+std::vector<rtl::FilterDesign> make_all_references() {
+  std::vector<rtl::FilterDesign> out;
+  out.push_back(make_reference(ReferenceFilter::Lowpass));
+  out.push_back(make_reference(ReferenceFilter::Bandpass));
+  out.push_back(make_reference(ReferenceFilter::Highpass));
+  return out;
+}
+
+} // namespace fdbist::designs

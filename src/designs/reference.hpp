@@ -1,0 +1,40 @@
+// The three reference CUTs of the paper's Table 1: lowpass, bandpass, and
+// highpass multiplierless FIR filters of comparable complexity (~60 taps,
+// 12-bit input, 14/15-bit coefficients, 16-bit output).
+//
+// The paper's exact coefficient sets are proprietary (FIRGEN designs); we
+// regenerate equivalent designs with a Kaiser-window flow — see DESIGN.md
+// §2 for why this preserves the testability behaviour. The highpass uses
+// 61 taps because an even-length symmetric FIR is structurally zero at
+// Nyquist (documented substitution).
+#pragma once
+
+#include "dsp/fir_design.hpp"
+#include "rtl/fir_builder.hpp"
+
+namespace fdbist::designs {
+
+enum class ReferenceFilter { Lowpass, Bandpass, Highpass };
+
+const char* reference_name(ReferenceFilter f); ///< "LP" / "BP" / "HP"
+
+/// Design parameters for one reference filter.
+struct ReferenceSpec {
+  dsp::FirSpec fir;
+  rtl::FirBuilderOptions build;
+  double l1_target = 0.98; ///< impulse-response L1 norm after scaling
+};
+
+/// The specs used throughout the reproduction (fixed, deterministic).
+ReferenceSpec reference_spec(ReferenceFilter f);
+
+/// Real coefficients (designed, L1-normalized) before quantization.
+std::vector<double> reference_coefficients(ReferenceFilter f);
+
+/// Build the full RTL design for one reference filter.
+rtl::FilterDesign make_reference(ReferenceFilter f);
+
+/// All three, in Table 1 order (LP, BP, HP).
+std::vector<rtl::FilterDesign> make_all_references();
+
+} // namespace fdbist::designs

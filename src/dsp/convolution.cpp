@@ -1,0 +1,39 @@
+#include "dsp/convolution.hpp"
+
+#include "common/check.hpp"
+
+namespace fdbist::dsp {
+
+std::vector<double> convolve(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j) out[i + j] += a[i] * b[j];
+  return out;
+}
+
+std::vector<double> autocorrelation_sequence(const std::vector<double>& h) {
+  FDBIST_REQUIRE(!h.empty(), "autocorrelation of empty sequence");
+  const std::size_t n = h.size();
+  std::vector<double> r(2 * n - 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      r[i + (n - 1) - j] += h[i] * h[j];
+  return r;
+}
+
+std::vector<double> filter_signal(const std::vector<double>& h,
+                                  const std::vector<double>& x) {
+  if (h.empty() || x.empty()) return std::vector<double>(x.size(), 0.0);
+  std::vector<double> y(x.size(), 0.0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    double acc = 0.0;
+    const std::size_t kmax = n < h.size() - 1 ? n : h.size() - 1;
+    for (std::size_t k = 0; k <= kmax; ++k) acc += h[k] * x[n - k];
+    y[n] = acc;
+  }
+  return y;
+}
+
+} // namespace fdbist::dsp

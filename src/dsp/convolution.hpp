@@ -1,0 +1,21 @@
+// Direct convolution and aperiodic autocorrelation, used by the LFSR linear
+// model (paper Section 7.1).
+#pragma once
+
+#include <vector>
+
+namespace fdbist::dsp {
+
+/// Full linear convolution: result length a.size() + b.size() - 1.
+std::vector<double> convolve(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Aperiodic autocorrelation r[k] = sum_n h[n] h[n+k] for k = -(N-1)..(N-1),
+/// returned with lag 0 at index N-1 (i.e. h[n] * h[-n]).
+std::vector<double> autocorrelation_sequence(const std::vector<double>& h);
+
+/// Reference double-precision FIR filtering: y[n] = sum_k h[k] x[n-k].
+std::vector<double> filter_signal(const std::vector<double>& h,
+                                  const std::vector<double>& x);
+
+} // namespace fdbist::dsp

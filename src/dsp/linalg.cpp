@@ -1,0 +1,44 @@
+#include "dsp/linalg.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fdbist::dsp {
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const std::size_t n = b.size();
+  FDBIST_REQUIRE(a.size() == n, "matrix/vector size mismatch");
+  for (const auto& row : a)
+    FDBIST_REQUIRE(row.size() == n, "matrix must be square");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    FDBIST_ASSERT(std::abs(a[pivot][col]) > 1e-300,
+                  "singular system in solve_linear_system");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+
+    const double inv = 1.0 / a[col][col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a[ri][c] * x[c];
+    x[ri] = acc / a[ri][ri];
+  }
+  return x;
+}
+
+} // namespace fdbist::dsp

@@ -1,0 +1,15 @@
+// Minimal dense linear algebra: Gaussian elimination with partial
+// pivoting, used by the Remez exchange solver.
+#pragma once
+
+#include <vector>
+
+namespace fdbist::dsp {
+
+/// Solve A x = b for square A (row-major). Throws precondition_error on
+/// dimension mismatch and invariant_error on a (numerically) singular
+/// system.
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b);
+
+} // namespace fdbist::dsp

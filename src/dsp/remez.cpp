@@ -1,0 +1,162 @@
+#include "dsp/remez.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "dsp/linalg.hpp"
+
+namespace fdbist::dsp {
+
+namespace {
+
+struct GridPoint {
+  double f = 0.0;
+  double desired = 0.0;
+  double weight = 1.0;
+  bool edge = false; ///< first or last point of a band
+};
+
+std::vector<GridPoint> build_grid(const std::vector<RemezBand>& bands,
+                                  std::size_t points_per_coef,
+                                  std::size_t ncoef) {
+  double total_width = 0.0;
+  for (const auto& b : bands) total_width += b.f_hi - b.f_lo;
+  std::vector<GridPoint> grid;
+  for (const auto& b : bands) {
+    const double width = b.f_hi - b.f_lo;
+    const auto n = std::max<std::size_t>(
+        8, static_cast<std::size_t>(std::ceil(
+               width / total_width *
+               static_cast<double>(points_per_coef * ncoef))));
+    for (std::size_t i = 0; i <= n; ++i) {
+      GridPoint p;
+      p.f = b.f_lo + width * static_cast<double>(i) / static_cast<double>(n);
+      p.desired = b.desired;
+      p.weight = b.weight;
+      p.edge = i == 0 || i == n;
+      grid.push_back(p);
+    }
+  }
+  return grid;
+}
+
+// A(f) = sum_k a_k cos(2 pi k f): the amplitude response of a type I FIR
+// with coefficients expressed in cosine basis.
+double amplitude(const std::vector<double>& a, double f) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k)
+    acc += a[k] * std::cos(2.0 * std::numbers::pi * static_cast<double>(k) * f);
+  return acc;
+}
+
+} // namespace
+
+RemezResult design_remez(std::size_t taps,
+                         const std::vector<RemezBand>& bands,
+                         std::size_t grid_density, int max_iterations) {
+  FDBIST_REQUIRE(taps >= 3 && taps % 2 == 1,
+                 "Remez designs here are type I: odd length >= 3");
+  FDBIST_REQUIRE(!bands.empty(), "need at least one band");
+  double prev_hi = -1.0;
+  for (const auto& b : bands) {
+    FDBIST_REQUIRE(b.f_lo >= 0.0 && b.f_hi <= 0.5 && b.f_lo < b.f_hi,
+                   "band edges must satisfy 0 <= lo < hi <= 0.5");
+    FDBIST_REQUIRE(b.f_lo > prev_hi, "bands must be disjoint and ascending");
+    FDBIST_REQUIRE(b.weight > 0.0, "band weights must be positive");
+    prev_hi = b.f_hi;
+  }
+
+  const std::size_t m = (taps - 1) / 2; // cosine coefficients 0..m
+  const std::size_t r = m + 2;          // extremal frequencies
+  const auto grid = build_grid(bands, grid_density, m + 1);
+  FDBIST_REQUIRE(grid.size() >= r, "grid too coarse for this order");
+
+  // Initial extrema: uniformly spread over the grid.
+  std::vector<std::size_t> ext(r);
+  for (std::size_t i = 0; i < r; ++i)
+    ext[i] = i * (grid.size() - 1) / (r - 1);
+
+  RemezResult result;
+  std::vector<double> a(m + 1, 0.0);
+  double delta = 0.0;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Solve the interpolation: A(f_i) + (-1)^i delta / W(f_i) = D(f_i).
+    std::vector<std::vector<double>> mat(r, std::vector<double>(r, 0.0));
+    std::vector<double> rhs(r, 0.0);
+    for (std::size_t i = 0; i < r; ++i) {
+      const GridPoint& p = grid[ext[i]];
+      for (std::size_t k = 0; k <= m; ++k)
+        mat[i][k] = std::cos(2.0 * std::numbers::pi *
+                             static_cast<double>(k) * p.f);
+      mat[i][m + 1] = (i % 2 == 0 ? 1.0 : -1.0) / p.weight;
+      rhs[i] = p.desired;
+    }
+    const auto sol = solve_linear_system(std::move(mat), std::move(rhs));
+    std::copy(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(m + 1),
+              a.begin());
+    const double new_delta = std::abs(sol[m + 1]);
+
+    // Weighted error over the whole grid.
+    std::vector<double> err(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      err[i] = (amplitude(a, grid[i].f) - grid[i].desired) * grid[i].weight;
+
+    // Candidate extrema: local maxima of |err| plus band edges.
+    std::vector<std::size_t> cand;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const double e = std::abs(err[i]);
+      const bool left_ok = i == 0 || e >= std::abs(err[i - 1]);
+      const bool right_ok = i + 1 == grid.size() || e >= std::abs(err[i + 1]);
+      if ((left_ok && right_ok) || grid[i].edge) cand.push_back(i);
+    }
+    // Compress runs of equal |err| and enforce sign alternation by
+    // keeping, for each run of same-signed candidates, the largest.
+    std::vector<std::size_t> alt;
+    for (const std::size_t i : cand) {
+      if (!alt.empty() && (err[alt.back()] >= 0) == (err[i] >= 0)) {
+        if (std::abs(err[i]) > std::abs(err[alt.back()])) alt.back() = i;
+      } else {
+        alt.push_back(i);
+      }
+    }
+    // Keep exactly r extrema: drop the smallest from whichever end.
+    while (alt.size() > r) {
+      if (std::abs(err[alt.front()]) <= std::abs(err[alt.back()]))
+        alt.erase(alt.begin());
+      else
+        alt.pop_back();
+    }
+    if (alt.size() < r) {
+      // Degenerate iteration (can happen early): keep previous extrema.
+      result.ripple = new_delta;
+      result.iterations = iter + 1;
+      break;
+    }
+
+    const bool same = std::equal(alt.begin(), alt.end(), ext.begin());
+    ext.assign(alt.begin(), alt.end());
+    const bool settled =
+        std::abs(new_delta - delta) <= 1e-12 + 1e-9 * new_delta;
+    delta = new_delta;
+    result.ripple = delta;
+    result.iterations = iter + 1;
+    if (same || settled) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Cosine coefficients -> impulse response: h[m] = a0, h[m±k] = a_k/2.
+  result.h.assign(taps, 0.0);
+  result.h[m] = a[0];
+  for (std::size_t k = 1; k <= m; ++k) {
+    result.h[m - k] = a[k] / 2.0;
+    result.h[m + k] = a[k] / 2.0;
+  }
+  return result;
+}
+
+} // namespace fdbist::dsp

@@ -1,0 +1,37 @@
+// Parks-McClellan (Remez exchange) equiripple FIR design.
+//
+// The paper's CUTs come from FIRGEN [6], an equiripple design system;
+// the Kaiser-window flow in dsp/fir_design.hpp is our default
+// substitute, and this module provides the genuine minimax alternative
+// for users who want the sharpest transition per tap. Type I (odd
+// length, even symmetry) designs over piecewise-constant band specs.
+#pragma once
+
+#include <vector>
+
+namespace fdbist::dsp {
+
+/// One constant-desired band of a minimax FIR spec (frequencies in
+/// cycles/sample, 0..0.5; bands must be disjoint and ascending).
+struct RemezBand {
+  double f_lo = 0.0;
+  double f_hi = 0.0;
+  double desired = 0.0; ///< target |H| in the band
+  double weight = 1.0;  ///< relative error weight
+};
+
+struct RemezResult {
+  std::vector<double> h; ///< impulse response (length = taps, symmetric)
+  double ripple = 0.0;   ///< final weighted ripple (delta)
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Design a length-`taps` (odd) type I linear-phase FIR minimizing the
+/// weighted Chebyshev error over the bands.
+RemezResult design_remez(std::size_t taps,
+                         const std::vector<RemezBand>& bands,
+                         std::size_t grid_density = 16,
+                         int max_iterations = 40);
+
+} // namespace fdbist::dsp

@@ -1,0 +1,26 @@
+// Window functions for FIR design and spectral estimation.
+#pragma once
+
+#include <vector>
+
+namespace fdbist::dsp {
+
+enum class WindowKind { Rectangular, Hann, Hamming, Blackman, Kaiser };
+
+/// Symmetric window of length `n`. `beta` is used only by Kaiser.
+std::vector<double> make_window(WindowKind kind, std::size_t n,
+                                double beta = 0.0);
+
+/// Kaiser beta parameter for a target stopband attenuation in dB
+/// (Kaiser's empirical formula).
+double kaiser_beta_for_attenuation(double atten_db);
+
+/// Estimated Kaiser-window FIR length for the given attenuation (dB) and
+/// normalized transition width (cycles/sample).
+std::size_t kaiser_length_for(double atten_db, double transition_width);
+
+/// Zeroth-order modified Bessel function of the first kind (series
+/// expansion), used by the Kaiser window.
+double bessel_i0(double x);
+
+} // namespace fdbist::dsp

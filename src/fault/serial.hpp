@@ -1,0 +1,27 @@
+// Serial (one-fault-at-a-time) fault simulation.
+//
+// The obvious reference algorithm: simulate the good machine and one
+// faulty machine per fault, cycle by cycle. ~60x slower than the
+// word-parallel engine (fault/simulator.hpp) but trivially correct, so
+// it serves as the differential-testing oracle for the fast path and as
+// the baseline in the perf ablations.
+#pragma once
+
+#include <span>
+
+#include "fault/simulator.hpp"
+
+namespace fdbist::fault {
+
+/// Same contract as simulate_faults, implemented serially.
+FaultSimResult simulate_faults_serial(const gate::Netlist& nl,
+                                      std::span<const std::int64_t> stimulus,
+                                      std::span<const Fault> faults);
+
+/// First cycle at which injecting `f` changes the observed outputs, or
+/// -1 if the stimulus never detects it.
+std::int32_t detect_cycle_of(const gate::Netlist& nl,
+                             std::span<const std::int64_t> stimulus,
+                             const Fault& f);
+
+} // namespace fdbist::fault

@@ -1,0 +1,23 @@
+#include "fixedpoint/format.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace fdbist::fx {
+
+std::string Format::to_string() const {
+  std::ostringstream os;
+  os << 'Q' << (width - frac - 1) << '.' << frac << "(w" << width << ')';
+  return os.str();
+}
+
+std::int64_t from_real(double value, const Format& fmt) {
+  FDBIST_REQUIRE(fmt.valid(), "invalid fixed-point format");
+  if (std::isnan(value)) return 0;
+  const double scaled = std::ldexp(value, fmt.frac);
+  if (scaled >= static_cast<double>(fmt.raw_max())) return fmt.raw_max();
+  if (scaled <= static_cast<double>(fmt.raw_min())) return fmt.raw_min();
+  return static_cast<std::int64_t>(std::llround(scaled));
+}
+
+} // namespace fdbist::fx

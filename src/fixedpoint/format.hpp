@@ -1,0 +1,119 @@
+// Two's-complement fixed-point formats.
+//
+// The paper (Section 2) interprets an N-bit signal b0..b_{N-1} as
+//   -b0 + sum_{i=1}^{N-1} b_i 2^{-i}  in  [-1, 1).
+// That is a Format{width = N, frac = N - 1}. Internal datapath nodes use
+// other Q-formats; a Format records total width and fractional bit count so
+// values at different datapath points can be aligned exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace fdbist::fx {
+
+/// A two's-complement fixed-point format: `width` total bits of which
+/// `frac` are fractional. A raw integer r represents the real value
+/// r * 2^-frac. Integer bits (including sign) = width - frac.
+struct Format {
+  int width = 0; ///< total bits, 1..63
+  int frac = 0;  ///< fractional bits, may exceed width-1 or be negative
+
+  friend constexpr bool operator==(const Format&, const Format&) = default;
+
+  /// The paper's convention for an N-bit signal in [-1, 1).
+  static constexpr Format unit(int width) { return {width, width - 1}; }
+
+  /// Smallest representable increment, as a real number.
+  constexpr double lsb() const { return std::int64_t{1} * ldexp1(-frac); }
+
+  /// Most negative representable value (raw).
+  constexpr std::int64_t raw_min() const {
+    return -(std::int64_t{1} << (width - 1));
+  }
+  /// Most positive representable value (raw).
+  constexpr std::int64_t raw_max() const {
+    return (std::int64_t{1} << (width - 1)) - 1;
+  }
+
+  /// Most negative representable value, as a real number.
+  constexpr double real_min() const { return to_real(raw_min()); }
+  /// Most positive representable value, as a real number.
+  constexpr double real_max() const { return to_real(raw_max()); }
+
+  /// Real value of a raw integer in this format.
+  constexpr double to_real(std::int64_t raw) const {
+    return static_cast<double>(raw) * ldexp1(-frac);
+  }
+
+  constexpr bool valid() const { return width >= 1 && width <= 63; }
+
+  std::string to_string() const; ///< e.g. "Q3.12(w16)"
+
+private:
+  // constexpr 2^e for |e| < 1024 without <cmath> (ldexp is not constexpr
+  // until C++23).
+  static constexpr double ldexp1(int e) {
+    double v = 1.0;
+    const double m = e < 0 ? 0.5 : 2.0;
+    for (int i = 0, n = e < 0 ? -e : e; i < n; ++i) v *= m;
+    return v;
+  }
+};
+
+/// Wrap `raw` into `fmt` (hardware two's-complement overflow behaviour).
+constexpr std::int64_t wrap(std::int64_t raw, const Format& fmt) {
+  return wrap_to_width(raw, fmt.width);
+}
+
+/// Saturate `raw` into `fmt`.
+constexpr std::int64_t saturate(std::int64_t raw, const Format& fmt) {
+  if (raw < fmt.raw_min()) return fmt.raw_min();
+  if (raw > fmt.raw_max()) return fmt.raw_max();
+  return raw;
+}
+
+/// True if `raw` is representable in `fmt` without wrapping.
+constexpr bool representable(std::int64_t raw, const Format& fmt) {
+  return raw >= fmt.raw_min() && raw <= fmt.raw_max();
+}
+
+/// Quantize a real value to `fmt`, rounding to nearest (ties away from
+/// zero), then saturating. Throws nothing; NaN maps to 0.
+std::int64_t from_real(double value, const Format& fmt);
+
+/// Re-align a raw value from format `from` to format `to`, truncating
+/// (arithmetic shift right, i.e. round toward -inf) when fractional bits are
+/// discarded and wrapping if integer bits are dropped. This models the
+/// hardware truncate/sign-extend operators in the RTL datapath.
+constexpr std::int64_t align(std::int64_t raw, const Format& from,
+                             const Format& to) {
+  const int shift = to.frac - from.frac;
+  if (shift >= 0) {
+    raw = (shift >= 63) ? 0 : raw << shift;
+  } else {
+    const int s = -shift;
+    raw = (s >= 63) ? (raw < 0 ? -1 : 0) : (raw >> s);
+  }
+  return wrap(raw, to);
+}
+
+/// Format of the full-precision sum of two aligned operands: enough
+/// fractional bits for both and one extra integer bit for the carry-out.
+constexpr Format add_format(const Format& a, const Format& b) {
+  const int frac = a.frac > b.frac ? a.frac : b.frac;
+  const int ia = a.width - a.frac;
+  const int ib = b.width - b.frac;
+  const int ints = (ia > ib ? ia : ib) + 1;
+  return {ints + frac, frac};
+}
+
+/// Format of a product of two fixed-point values (full precision).
+constexpr Format mul_format(const Format& a, const Format& b) {
+  return {a.width + b.width - 1, a.frac + b.frac};
+}
+
+} // namespace fdbist::fx

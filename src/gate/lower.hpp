@@ -1,0 +1,50 @@
+// Lowering of RTL datapaths to gate-level netlists.
+//
+// Adds and subtracts become ripple-carry chains of 5-gate full adders
+// (2 XOR, 2 AND, 1 OR per middle bit); subtraction inverts the secondary
+// operand and sets carry-in. Sign extension, shifting, and resizing are
+// pure wiring. The MSB cell omits carry generation (the paper notes the
+// MSB has no carry logic), and the LSB cell folds the constant carry-in,
+// so no always-constant nets — and hence no structurally undetectable
+// constant-pin faults — are emitted.
+#pragma once
+
+#include <vector>
+
+#include "gate/netlist.hpp"
+#include "rtl/fir_builder.hpp"
+#include "rtl/graph.hpp"
+
+namespace fdbist::gate {
+
+struct LoweredDesign {
+  Netlist netlist;
+  /// Net ids for each RTL node's bits, LSB first (node_bits[node][bit]).
+  /// Carry-save accumulator nodes have no direct bit mapping (their
+  /// value exists only as a redundant pair); see redundant_bits.
+  std::vector<std::vector<NetId>> node_bits;
+  /// For carry-save accumulators: the (sum, carry) vectors per node.
+  std::vector<std::pair<std::vector<NetId>, std::vector<NetId>>>
+      redundant_bits;
+};
+
+struct LoweringOptions {
+  /// Structural accumulator Add/Sub nodes to implement as carry-save
+  /// 3:2 compressor stages instead of ripple chains (paper Section 3's
+  /// high-performance alternative). Their pipeline registers become
+  /// (sum, carry) register pairs — doubling the register count — and a
+  /// single vector-merge ripple adder resolves the redundancy where a
+  /// non-carry-save consumer reads the value.
+  std::vector<rtl::NodeId> carry_save_accumulators;
+};
+
+/// Lower a validated RTL graph. Every Add/Sub becomes a full-adder chain
+/// (or a carry-save compressor stage, per the options); registers become
+/// per-bit state elements; everything else is wiring.
+LoweredDesign lower(const rtl::Graph& g, const LoweringOptions& opt = {});
+
+/// Convenience: lower a filter design with its structural accumulation
+/// chain in carry-save form.
+LoweredDesign lower_carry_save(const rtl::FilterDesign& d);
+
+} // namespace fdbist::gate

@@ -1,0 +1,93 @@
+#include "gate/netlist.hpp"
+
+#include "common/check.hpp"
+
+namespace fdbist::gate {
+
+const char* gate_op_name(GateOp op) {
+  switch (op) {
+  case GateOp::Const0: return "const0";
+  case GateOp::Const1: return "const1";
+  case GateOp::Input: return "input";
+  case GateOp::RegOut: return "regout";
+  case GateOp::Not: return "not";
+  case GateOp::And: return "and";
+  case GateOp::Or: return "or";
+  case GateOp::Xor: return "xor";
+  }
+  return "?";
+}
+
+const char* cell_role_name(CellRole r) {
+  switch (r) {
+  case CellRole::None: return "none";
+  case CellRole::SumXor1: return "x1";
+  case CellRole::SumXor2: return "s";
+  case CellRole::CarryAnd1: return "a1";
+  case CellRole::CarryAnd2: return "a2";
+  case CellRole::CarryOr: return "cout";
+  case CellRole::OperandNot: return "bnot";
+  }
+  return "?";
+}
+
+NetId Netlist::add_gate(GateOp op, NetId a, NetId b, GateOrigin origin) {
+  const auto id = static_cast<NetId>(gates_.size());
+  const bool needs_a = op == GateOp::Not || op == GateOp::And ||
+                       op == GateOp::Or || op == GateOp::Xor;
+  const bool needs_b =
+      op == GateOp::And || op == GateOp::Or || op == GateOp::Xor;
+  if (needs_a)
+    FDBIST_REQUIRE(a >= 0 && a < id, "gate operand a must precede the gate");
+  if (needs_b)
+    FDBIST_REQUIRE(b >= 0 && b < id, "gate operand b must precede the gate");
+  gates_.push_back({op, needs_a ? a : kNoNet, needs_b ? b : kNoNet});
+  origins_.push_back(origin);
+  return id;
+}
+
+std::vector<std::int32_t> Netlist::fanout_counts() const {
+  std::vector<std::int32_t> fo(gates_.size(), 0);
+  for (const Gate& g : gates_) {
+    if (g.a != kNoNet) ++fo[std::size_t(g.a)];
+    if (g.b != kNoNet) ++fo[std::size_t(g.b)];
+  }
+  for (const RegBit& r : registers_) ++fo[std::size_t(r.d)];
+  for (const auto& group : outputs_)
+    for (const NetId o : group) ++fo[std::size_t(o)];
+  return fo;
+}
+
+void Netlist::validate() const {
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    const bool needs_a = g.op == GateOp::Not || g.op == GateOp::And ||
+                         g.op == GateOp::Or || g.op == GateOp::Xor;
+    const bool needs_b =
+        g.op == GateOp::And || g.op == GateOp::Or || g.op == GateOp::Xor;
+    if (needs_a)
+      FDBIST_ASSERT(g.a >= 0 && g.a < static_cast<NetId>(i),
+                    "combinational operand out of order");
+    if (needs_b)
+      FDBIST_ASSERT(g.b >= 0 && g.b < static_cast<NetId>(i),
+                    "combinational operand out of order");
+  }
+  for (const RegBit& r : registers_) {
+    FDBIST_ASSERT(r.q >= 0 && r.q < static_cast<NetId>(gates_.size()) &&
+                      gates_[std::size_t(r.q)].op == GateOp::RegOut,
+                  "register q must be a RegOut gate");
+    FDBIST_ASSERT(r.d >= 0 && r.d < static_cast<NetId>(gates_.size()),
+                  "register d out of range");
+  }
+}
+
+std::size_t Netlist::logic_gate_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_)
+    if (g.op == GateOp::Not || g.op == GateOp::And || g.op == GateOp::Or ||
+        g.op == GateOp::Xor)
+      ++n;
+  return n;
+}
+
+} // namespace fdbist::gate

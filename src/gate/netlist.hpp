@@ -1,0 +1,112 @@
+// Gate-level netlists.
+//
+// A Netlist is a flat array of gates in topological order; net i is the
+// output of gate i. Sequential elements (RegOut) and primary inputs
+// (Input) have no combinational operands, so evaluation is a single
+// in-order sweep per clock. The lowering from RTL (gate/lower.hpp) tags
+// every gate with its origin (RTL node, bit position, full-adder role) so
+// the fault engine can report faults in the paper's terms ("tap 20, three
+// bits down from the MSB").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/graph.hpp"
+
+namespace fdbist::gate {
+
+using NetId = std::int32_t;
+inline constexpr NetId kNoNet = -1;
+
+enum class GateOp : std::uint8_t {
+  Const0,
+  Const1,
+  Input,  ///< primary-input bit, driven externally each cycle
+  RegOut, ///< register output bit (state element)
+  Not,
+  And,
+  Or,
+  Xor,
+};
+
+const char* gate_op_name(GateOp op);
+
+/// Role of a gate within a lowered full-adder cell (used for fault
+/// reporting and difficult-test classification).
+enum class CellRole : std::uint8_t {
+  None,   ///< not part of an adder cell (input/reg/const)
+  SumXor1, ///< x1 = a XOR b
+  SumXor2, ///< s  = x1 XOR cin
+  CarryAnd1, ///< a1 = a AND b
+  CarryAnd2, ///< a2 = x1 AND cin
+  CarryOr,   ///< cout = a1 OR a2
+  OperandNot, ///< subtrahend inversion in subtractors
+};
+
+const char* cell_role_name(CellRole r);
+
+struct Gate {
+  GateOp op = GateOp::Const0;
+  NetId a = kNoNet;
+  NetId b = kNoNet;
+};
+
+/// Where a gate came from in the RTL.
+struct GateOrigin {
+  rtl::NodeId node = rtl::kNoNode; ///< owning RTL node
+  std::int16_t bit = -1;           ///< bit position within the node
+  CellRole role = CellRole::None;
+};
+
+/// One register bit: at each clock edge, net `q` (a RegOut gate) takes the
+/// value of net `d`.
+struct RegBit {
+  NetId d = kNoNet;
+  NetId q = kNoNet;
+};
+
+class Netlist {
+public:
+  NetId add_gate(GateOp op, NetId a = kNoNet, NetId b = kNoNet,
+                 GateOrigin origin = {});
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<GateOrigin>& origins() const { return origins_; }
+  const Gate& gate(NetId id) const { return gates_[std::size_t(id)]; }
+  const GateOrigin& origin(NetId id) const {
+    return origins_[std::size_t(id)];
+  }
+  std::size_t size() const { return gates_.size(); }
+
+  std::vector<RegBit>& registers() { return registers_; }
+  const std::vector<RegBit>& registers() const { return registers_; }
+
+  /// Per-RTL-input bit nets, LSB first.
+  std::vector<std::vector<NetId>>& inputs() { return inputs_; }
+  const std::vector<std::vector<NetId>>& inputs() const { return inputs_; }
+
+  /// Observed output bit nets, LSB first (one group per RTL Output node).
+  std::vector<std::vector<NetId>>& outputs() { return outputs_; }
+  const std::vector<std::vector<NetId>>& outputs() const { return outputs_; }
+
+  /// Number of gate-input references to each net, counting register D
+  /// pins and observed outputs as uses (computed once on demand).
+  std::vector<std::int32_t> fanout_counts() const;
+
+  /// Structural sanity check: operand ordering, operand presence per op.
+  void validate() const;
+
+  /// Count of combinational logic gates (Not/And/Or/Xor).
+  std::size_t logic_gate_count() const;
+
+private:
+  std::vector<Gate> gates_;
+  std::vector<GateOrigin> origins_;
+  std::vector<RegBit> registers_;
+  std::vector<std::vector<NetId>> inputs_;
+  std::vector<std::vector<NetId>> outputs_;
+};
+
+} // namespace fdbist::gate

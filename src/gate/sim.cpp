@@ -1,0 +1,141 @@
+#include "gate/sim.hpp"
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace fdbist::gate {
+
+const char* pin_site_name(PinSite s) {
+  switch (s) {
+  case PinSite::Output: return "out";
+  case PinSite::InputA: return "inA";
+  case PinSite::InputB: return "inB";
+  }
+  return "?";
+}
+
+WordSim::WordSim(const Netlist& nl)
+    : nl_(nl), values_(nl.size(), 0), reg_state_(nl.registers().size(), 0),
+      has_fault_(nl.size(), 0) {
+  nl_.validate();
+}
+
+void WordSim::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  std::fill(reg_state_.begin(), reg_state_.end(), 0);
+}
+
+void WordSim::clear_faults() {
+  for (const auto& [gid, _] : faults_) has_fault_[std::size_t(gid)] = 0;
+  faults_.clear();
+}
+
+void WordSim::add_fault(NetId gid, PinSite site, int stuck,
+                        std::uint64_t mask) {
+  FDBIST_REQUIRE(gid >= 0 && std::size_t(gid) < nl_.size(),
+                 "fault gate id out of range");
+  const GateOp op = nl_.gate(gid).op;
+  FDBIST_REQUIRE(op == GateOp::Not || op == GateOp::And ||
+                     op == GateOp::Or || op == GateOp::Xor,
+                 "faults can only be injected on logic gates");
+  if (site == PinSite::InputB)
+    FDBIST_REQUIRE(op != GateOp::Not, "NOT gates have no second input");
+  faults_[gid].push_back(
+      {site, static_cast<std::uint8_t>(stuck != 0), mask});
+  has_fault_[std::size_t(gid)] = 1;
+}
+
+std::uint64_t WordSim::eval_faulty(NetId id, const Gate& g) const {
+  std::uint64_t va = g.a != kNoNet ? values_[std::size_t(g.a)] : 0;
+  std::uint64_t vb = g.b != kNoNet ? values_[std::size_t(g.b)] : 0;
+  const auto it = faults_.find(id);
+  FDBIST_ASSERT(it != faults_.end(), "has_fault set without fault entry");
+  for (const AppliedFault& f : it->second) {
+    if (f.site == PinSite::InputA)
+      va = f.stuck ? (va | f.mask) : (va & ~f.mask);
+    else if (f.site == PinSite::InputB)
+      vb = f.stuck ? (vb | f.mask) : (vb & ~f.mask);
+  }
+  std::uint64_t v = 0;
+  switch (g.op) {
+  case GateOp::Not: v = ~va; break;
+  case GateOp::And: v = va & vb; break;
+  case GateOp::Or: v = va | vb; break;
+  case GateOp::Xor: v = va ^ vb; break;
+  default: FDBIST_ASSERT(false, "fault on non-logic gate");
+  }
+  for (const AppliedFault& f : it->second) {
+    if (f.site == PinSite::Output)
+      v = f.stuck ? (v | f.mask) : (v & ~f.mask);
+  }
+  return v;
+}
+
+void WordSim::step_broadcast(std::span<const std::int64_t> input_raws) {
+  FDBIST_REQUIRE(input_raws.size() == nl_.inputs().size(),
+                 "wrong number of input words");
+  // Drive primary inputs (broadcast each bit to all 64 lanes).
+  for (std::size_t g = 0; g < input_raws.size(); ++g) {
+    const auto& group = nl_.inputs()[g];
+    const auto raw = static_cast<std::uint64_t>(input_raws[g]);
+    for (std::size_t j = 0; j < group.size(); ++j)
+      values_[std::size_t(group[j])] =
+          ((raw >> j) & 1u) ? ~std::uint64_t{0} : 0;
+  }
+  // Present register state.
+  const auto& regs = nl_.registers();
+  for (std::size_t r = 0; r < regs.size(); ++r)
+    values_[std::size_t(regs[r].q)] = reg_state_[r];
+
+  // Evaluate combinational gates in topological order.
+  const Gate* gs = nl_.gates().data();
+  const std::size_t n = nl_.size();
+  std::uint64_t* vals = values_.data();
+  const std::uint8_t* hf = has_fault_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Gate g = gs[i];
+    std::uint64_t v;
+    switch (g.op) {
+    case GateOp::Not: v = ~vals[g.a]; break;
+    case GateOp::And: v = vals[g.a] & vals[g.b]; break;
+    case GateOp::Or: v = vals[g.a] | vals[g.b]; break;
+    case GateOp::Xor: v = vals[g.a] ^ vals[g.b]; break;
+    case GateOp::Const0: v = 0; break;
+    case GateOp::Const1: v = ~std::uint64_t{0}; break;
+    case GateOp::Input:
+    case GateOp::RegOut:
+      continue; // already driven above
+    default: v = 0; break;
+    }
+    if (hf[i]) [[unlikely]]
+      v = eval_faulty(static_cast<NetId>(i), g);
+    vals[i] = v;
+  }
+
+  // Latch.
+  for (std::size_t r = 0; r < regs.size(); ++r)
+    reg_state_[r] = values_[std::size_t(regs[r].d)];
+}
+
+std::uint64_t WordSim::output_mismatch() const {
+  std::uint64_t diff = 0;
+  for (const auto& group : nl_.outputs()) {
+    for (const NetId o : group) {
+      const std::uint64_t w = values_[std::size_t(o)];
+      const std::uint64_t good = (w & 1u) ? ~std::uint64_t{0} : 0;
+      diff |= w ^ good;
+    }
+  }
+  return diff;
+}
+
+std::int64_t WordSim::lane_value(const std::vector<NetId>& bit_nets,
+                                 int lane) const {
+  FDBIST_REQUIRE(lane >= 0 && lane < 64, "lane out of range");
+  std::uint64_t raw = 0;
+  for (std::size_t j = 0; j < bit_nets.size(); ++j)
+    raw |= ((values_[std::size_t(bit_nets[j])] >> lane) & 1u) << j;
+  return sign_extend(raw, static_cast<int>(bit_nets.size()));
+}
+
+} // namespace fdbist::gate

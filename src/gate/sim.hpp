@@ -1,0 +1,74 @@
+// 64-lane bit-parallel gate-level simulation.
+//
+// Every net holds a 64-bit word: one bit per simulated machine. For fault
+// simulation, lane 0 is the fault-free machine and lanes 1..63 carry one
+// injected stuck-at fault each (the classic parallel fault simulation
+// scheme). Inputs are broadcast to all lanes; faults are forced with
+// per-lane masks at specific gate pins.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "gate/netlist.hpp"
+
+namespace fdbist::gate {
+
+/// Which pin of a gate a stuck-at fault is attached to.
+enum class PinSite : std::uint8_t { Output, InputA, InputB };
+
+const char* pin_site_name(PinSite s);
+
+class WordSim {
+public:
+  explicit WordSim(const Netlist& nl);
+
+  /// Clear all register state (and nothing else).
+  void reset();
+
+  /// Remove all injected faults.
+  void clear_faults();
+
+  /// Force `gate`'s `site` pin to `stuck` (0/1) in the lanes of `mask`.
+  /// The gate must be a combinational logic gate.
+  void add_fault(NetId gate, PinSite site, int stuck, std::uint64_t mask);
+
+  /// One clock: drive each RTL input with a raw word broadcast to all 64
+  /// lanes, evaluate combinational logic, then latch registers.
+  void step_broadcast(std::span<const std::int64_t> input_raws);
+  void step_broadcast(std::int64_t input_raw) {
+    step_broadcast({&input_raw, 1});
+  }
+
+  /// Lanes whose observed outputs differ from lane 0 this cycle (bit 0 of
+  /// the result is always 0).
+  std::uint64_t output_mismatch() const;
+
+  /// Word value of a net.
+  std::uint64_t net(NetId id) const { return values_[std::size_t(id)]; }
+
+  /// Assemble the signed value seen by `lane` on a bit group (LSB first).
+  std::int64_t lane_value(const std::vector<NetId>& bit_nets,
+                          int lane) const;
+
+  const Netlist& netlist() const { return nl_; }
+
+private:
+  struct AppliedFault {
+    PinSite site;
+    std::uint8_t stuck;
+    std::uint64_t mask;
+  };
+
+  std::uint64_t eval_faulty(NetId id, const Gate& g) const;
+
+  const Netlist& nl_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> reg_state_;
+  std::vector<std::uint8_t> has_fault_;
+  std::unordered_map<NetId, std::vector<AppliedFault>> faults_;
+};
+
+} // namespace fdbist::gate

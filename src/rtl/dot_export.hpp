@@ -1,0 +1,20 @@
+// Graphviz DOT export of RTL graphs, for inspecting filter structure
+// (tap cascades, CSD trees, scaling decisions) visually.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rtl/graph.hpp"
+
+namespace fdbist::rtl {
+
+struct DotOptions {
+  std::string graph_name = "fdbist";
+  bool show_formats = true; ///< annotate nodes with Qx.y(wN)
+};
+
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& opt = {});
+std::string to_dot(const Graph& g, const DotOptions& opt = {});
+
+} // namespace fdbist::rtl

@@ -1,0 +1,172 @@
+#include "rtl/graph.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fdbist::rtl {
+
+const char* op_name(OpKind k) {
+  switch (k) {
+  case OpKind::Input: return "input";
+  case OpKind::Const: return "const";
+  case OpKind::Reg: return "reg";
+  case OpKind::Add: return "add";
+  case OpKind::Sub: return "sub";
+  case OpKind::Scale: return "scale";
+  case OpKind::Resize: return "resize";
+  case OpKind::Output: return "output";
+  }
+  return "?";
+}
+
+NodeId Graph::push(Node n) {
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Graph::check_operand(NodeId a) const {
+  FDBIST_REQUIRE(a >= 0 && a < static_cast<NodeId>(nodes_.size()),
+                 "operand refers to a node that does not exist yet");
+}
+
+NodeId Graph::input(const fx::Format& fmt, std::string name) {
+  FDBIST_REQUIRE(fmt.valid(), "input format invalid");
+  Node n;
+  n.kind = OpKind::Input;
+  n.fmt = fmt;
+  n.name = std::move(name);
+  const NodeId id = push(std::move(n));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Graph::constant(std::int64_t raw, const fx::Format& fmt,
+                       std::string name) {
+  FDBIST_REQUIRE(fmt.valid(), "const format invalid");
+  FDBIST_REQUIRE(fx::representable(raw, fmt),
+                 "constant not representable in its format");
+  Node n;
+  n.kind = OpKind::Const;
+  n.fmt = fmt;
+  n.cval = raw;
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NodeId Graph::reg(NodeId a, std::string name) {
+  check_operand(a);
+  Node n;
+  n.kind = OpKind::Reg;
+  n.a = a;
+  n.fmt = nodes_[static_cast<std::size_t>(a)].fmt;
+  n.name = std::move(name);
+  const NodeId id = push(std::move(n));
+  registers_.push_back(id);
+  return id;
+}
+
+NodeId Graph::add(NodeId a, NodeId b, const fx::Format& fmt,
+                  std::string name) {
+  check_operand(a);
+  check_operand(b);
+  FDBIST_REQUIRE(fmt.valid(), "adder format invalid");
+  const int fa = nodes_[static_cast<std::size_t>(a)].fmt.frac;
+  const int fb = nodes_[static_cast<std::size_t>(b)].fmt.frac;
+  FDBIST_REQUIRE(fmt.frac == std::max(fa, fb),
+                 "adder output frac must equal max of operand fracs "
+                 "(insert an explicit Resize to drop precision)");
+  Node n;
+  n.kind = OpKind::Add;
+  n.a = a;
+  n.b = b;
+  n.fmt = fmt;
+  n.name = std::move(name);
+  ++adder_count_;
+  return push(std::move(n));
+}
+
+NodeId Graph::sub(NodeId a, NodeId b, const fx::Format& fmt,
+                  std::string name) {
+  const NodeId id = add(a, b, fmt, std::move(name));
+  nodes_[static_cast<std::size_t>(id)].kind = OpKind::Sub;
+  return id;
+}
+
+NodeId Graph::scale(NodeId a, int shift, std::string name) {
+  check_operand(a);
+  const auto& src = nodes_[static_cast<std::size_t>(a)].fmt;
+  Node n;
+  n.kind = OpKind::Scale;
+  n.a = a;
+  n.shift = shift;
+  n.fmt = fx::Format{src.width, src.frac + shift};
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NodeId Graph::resize(NodeId a, const fx::Format& fmt, std::string name) {
+  check_operand(a);
+  FDBIST_REQUIRE(fmt.valid(), "resize format invalid");
+  Node n;
+  n.kind = OpKind::Resize;
+  n.a = a;
+  n.fmt = fmt;
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NodeId Graph::output(NodeId a, std::string name) {
+  check_operand(a);
+  Node n;
+  n.kind = OpKind::Output;
+  n.a = a;
+  n.fmt = nodes_[static_cast<std::size_t>(a)].fmt;
+  n.name = std::move(name);
+  const NodeId id = push(std::move(n));
+  outputs_.push_back(id);
+  return id;
+}
+
+const Node& Graph::node(NodeId id) const {
+  FDBIST_REQUIRE(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+                 "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+Node& Graph::mutable_node(NodeId id) {
+  FDBIST_REQUIRE(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+                 "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::vector<NodeId> Graph::adders() const {
+  std::vector<NodeId> out;
+  out.reserve(adder_count_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].kind == OpKind::Add || nodes_[i].kind == OpKind::Sub)
+      out.push_back(static_cast<NodeId>(i));
+  return out;
+}
+
+NodeId Graph::find(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  return kNoNode;
+}
+
+void Graph::validate() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    FDBIST_ASSERT(n.fmt.valid(), "node has invalid format");
+    const bool needs_a = n.kind != OpKind::Input && n.kind != OpKind::Const;
+    if (needs_a)
+      FDBIST_ASSERT(n.a >= 0 && n.a < static_cast<NodeId>(i),
+                    "operand a must precede its user");
+    if (n.kind == OpKind::Add || n.kind == OpKind::Sub)
+      FDBIST_ASSERT(n.b >= 0 && n.b < static_cast<NodeId>(i),
+                    "operand b must precede its user");
+  }
+}
+
+} // namespace fdbist::rtl

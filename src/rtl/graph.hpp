@@ -1,0 +1,97 @@
+// Register-transfer-level signal-flow graphs.
+//
+// Per Section 3 of the paper, the filters are networks of delay registers,
+// ripple-carry adders/subtractors, fixed-shift and sign-extension
+// operators; constant multiplications are hardwired CSD shift-add
+// structures built from these primitives. This module provides the graph
+// representation shared by the behavioural simulator, the scaling engine,
+// the linear-model analysis, and the gate-level lowering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fixedpoint/format.hpp"
+
+namespace fdbist::rtl {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+enum class OpKind : std::uint8_t {
+  Input,  ///< externally driven value
+  Const,  ///< constant raw value
+  Reg,    ///< one-cycle delay of its operand
+  Add,    ///< a + b, operands sign-extended/aligned to the node format
+  Sub,    ///< a - b, same alignment rules
+  Scale,  ///< multiply by 2^-shift: raw passthrough, format reinterpreted
+  Resize, ///< change width and/or fractional bits (sign-extend / truncate)
+  Output, ///< observation alias of its operand
+};
+
+const char* op_name(OpKind k);
+
+/// One RTL operator. Operands refer to earlier nodes (the graph is stored
+/// in topological order; registers read their operand's previous-cycle
+/// value, so they impose no ordering constraint, but we keep them ordered
+/// too for simplicity — filter datapaths are feed-forward).
+struct Node {
+  OpKind kind = OpKind::Const;
+  NodeId a = kNoNode; ///< first operand
+  NodeId b = kNoNode; ///< second operand (Add/Sub only)
+  fx::Format fmt;     ///< output format of this node
+  int shift = 0;      ///< Scale: right-shift amount (value *= 2^-shift)
+  std::int64_t cval = 0; ///< Const: raw value
+  std::string name;   ///< diagnostic label (e.g. "tap20.acc")
+};
+
+/// A single-clock synchronous datapath graph.
+class Graph {
+public:
+  NodeId input(const fx::Format& fmt, std::string name = {});
+  NodeId constant(std::int64_t raw, const fx::Format& fmt,
+                  std::string name = {});
+  NodeId reg(NodeId a, std::string name = {});
+  NodeId add(NodeId a, NodeId b, const fx::Format& fmt,
+             std::string name = {});
+  NodeId sub(NodeId a, NodeId b, const fx::Format& fmt,
+             std::string name = {});
+  NodeId scale(NodeId a, int shift, std::string name = {});
+  NodeId resize(NodeId a, const fx::Format& fmt, std::string name = {});
+  NodeId output(NodeId a, std::string name = {});
+
+  const Node& node(NodeId id) const;
+  Node& mutable_node(NodeId id); ///< used by the scaling engine
+  std::size_t size() const { return nodes_.size(); }
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+  const std::vector<NodeId>& registers() const { return registers_; }
+
+  /// All Add/Sub nodes, in topological order.
+  std::vector<NodeId> adders() const;
+
+  /// Number of Add + Sub nodes.
+  std::size_t adder_count() const { return adder_count_; }
+  std::size_t register_count() const { return registers_.size(); }
+
+  /// Find a node by exact name; kNoNode if absent.
+  NodeId find(const std::string& name) const;
+
+  /// Check structural invariants (operand ordering, format sanity).
+  /// Throws invariant_error on violation.
+  void validate() const;
+
+private:
+  NodeId push(Node n);
+  void check_operand(NodeId a) const;
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<NodeId> registers_;
+  std::size_t adder_count_ = 0;
+};
+
+} // namespace fdbist::rtl

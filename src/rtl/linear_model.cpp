@@ -1,0 +1,100 @@
+#include "rtl/linear_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fdbist::rtl {
+
+namespace {
+
+// Add b into a, padding as needed.
+void accumulate(std::vector<double>& a, const std::vector<double>& b,
+                double scale) {
+  if (b.size() > a.size()) a.resize(b.size(), 0.0);
+  for (std::size_t i = 0; i < b.size(); ++i) a[i] += scale * b[i];
+}
+
+double l1(const std::vector<double>& h) {
+  double s = 0.0;
+  for (double v : h) s += std::abs(v);
+  return s;
+}
+
+} // namespace
+
+std::vector<NodeLinearInfo> analyze_linear(const Graph& g) {
+  FDBIST_REQUIRE(g.inputs().size() == 1,
+                 "linear analysis requires a single-input graph");
+  g.validate();
+  std::vector<NodeLinearInfo> info(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const Node& nd = g.node(static_cast<NodeId>(i));
+    NodeLinearInfo& out = info[i];
+    switch (nd.kind) {
+    case OpKind::Input:
+      out.impulse = {1.0};
+      break;
+    case OpKind::Const:
+      // Constants contribute no input-dependent response. (Nonzero
+      // constants would add a DC offset; the builder only emits zero.)
+      out.impulse = {};
+      break;
+    case OpKind::Reg: {
+      const auto& src = info[static_cast<std::size_t>(nd.a)];
+      out.impulse.assign(src.impulse.size() + 1, 0.0);
+      for (std::size_t k = 0; k < src.impulse.size(); ++k)
+        out.impulse[k + 1] = src.impulse[k];
+      out.trunc_slack = src.trunc_slack;
+      break;
+    }
+    case OpKind::Add:
+    case OpKind::Sub: {
+      const auto& sa = info[static_cast<std::size_t>(nd.a)];
+      const auto& sb = info[static_cast<std::size_t>(nd.b)];
+      out.impulse = sa.impulse;
+      accumulate(out.impulse, sb.impulse,
+                 nd.kind == OpKind::Add ? 1.0 : -1.0);
+      out.trunc_slack = sa.trunc_slack + sb.trunc_slack;
+      break;
+    }
+    case OpKind::Scale: {
+      const auto& src = info[static_cast<std::size_t>(nd.a)];
+      const double s = std::ldexp(1.0, -nd.shift);
+      out.impulse = src.impulse;
+      for (double& v : out.impulse) v *= s;
+      out.trunc_slack = src.trunc_slack * s;
+      break;
+    }
+    case OpKind::Resize: {
+      const auto& src = info[static_cast<std::size_t>(nd.a)];
+      const Node& na = g.node(nd.a);
+      out.impulse = src.impulse;
+      out.trunc_slack = src.trunc_slack;
+      if (nd.fmt.frac < na.fmt.frac) {
+        // Arithmetic right shift rounds toward -inf: error in [0, lsb).
+        out.trunc_slack += std::ldexp(1.0, -nd.fmt.frac);
+      }
+      break;
+    }
+    case OpKind::Output: {
+      out = info[static_cast<std::size_t>(nd.a)];
+      break;
+    }
+    }
+    out.l1_bound = l1(out.impulse) + out.trunc_slack;
+  }
+  return info;
+}
+
+std::vector<double> variance_gains(const std::vector<NodeLinearInfo>& info) {
+  std::vector<double> g(info.size(), 0.0);
+  for (std::size_t i = 0; i < info.size(); ++i) {
+    double s = 0.0;
+    for (double v : info[i].impulse) s += v * v;
+    g[i] = s;
+  }
+  return g;
+}
+
+} // namespace fdbist::rtl

@@ -1,0 +1,32 @@
+// Linear-model analysis of an RTL datapath.
+//
+// The datapath is linear except for truncation; ignoring quantization, the
+// value at every node is an FIR response to the input (paper Section 7.1:
+// "the impulse response corresponding to the subsystem that outputs at
+// that adder"). This module extracts the per-node impulse response h_k[n],
+// the worst-case (L1) amplitude bound, and the accumulated truncation
+// slack — inputs to the scaling engine and to Eqn-1 variance analysis.
+#pragma once
+
+#include <vector>
+
+#include "rtl/graph.hpp"
+
+namespace fdbist::rtl {
+
+struct NodeLinearInfo {
+  std::vector<double> impulse; ///< response at this node to a unit impulse
+  double l1_bound = 0.0;       ///< sum |impulse|: worst-case |value| bound
+  double trunc_slack = 0.0;    ///< worst-case added magnitude from truncation
+};
+
+/// Linear-model info for every node of a single-input graph.
+/// `impulse[n]` is the node's value at cycle n when the input is
+/// 1, 0, 0, ... (in real units).
+std::vector<NodeLinearInfo> analyze_linear(const Graph& g);
+
+/// White-noise variance gain at each node: sum_i h_k[i]^2 (paper Eqn 1,
+/// with sigma_x^2 = 1).
+std::vector<double> variance_gains(const std::vector<NodeLinearInfo>& info);
+
+} // namespace fdbist::rtl

@@ -1,0 +1,112 @@
+#include "rtl/sim.hpp"
+
+#include "common/check.hpp"
+
+namespace fdbist::rtl {
+
+Simulator::Simulator(const Graph& g)
+    : g_(g), value_(g.size(), 0), reg_state_(g.registers().size(), 0) {
+  g_.validate();
+}
+
+void Simulator::reset() {
+  std::fill(value_.begin(), value_.end(), 0);
+  std::fill(reg_state_.begin(), reg_state_.end(), 0);
+}
+
+void Simulator::step(std::span<const std::int64_t> input_raws) {
+  FDBIST_REQUIRE(input_raws.size() == g_.inputs().size(),
+                 "wrong number of input values");
+  for (std::size_t i = 0; i < input_raws.size(); ++i) {
+    const NodeId id = g_.inputs()[i];
+    FDBIST_REQUIRE(fx::representable(input_raws[i], g_.node(id).fmt),
+                   "input value does not fit the input format");
+  }
+
+  // Evaluate in topological order; registers read their held state.
+  std::size_t next_input = 0;
+  std::size_t next_reg = 0;
+  const std::size_t n = g_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& nd = g_.node(static_cast<NodeId>(i));
+    std::int64_t v = 0;
+    switch (nd.kind) {
+    case OpKind::Input:
+      v = input_raws[next_input++];
+      break;
+    case OpKind::Const:
+      v = nd.cval;
+      break;
+    case OpKind::Reg:
+      v = reg_state_[next_reg++];
+      break;
+    case OpKind::Add:
+    case OpKind::Sub: {
+      const Node& na = g_.node(nd.a);
+      const Node& nb = g_.node(nd.b);
+      const std::int64_t a = fx::align(value_[static_cast<std::size_t>(nd.a)],
+                                       na.fmt, nd.fmt);
+      const std::int64_t b = fx::align(value_[static_cast<std::size_t>(nd.b)],
+                                       nb.fmt, nd.fmt);
+      v = fx::wrap(nd.kind == OpKind::Add ? a + b : a - b, nd.fmt);
+      break;
+    }
+    case OpKind::Scale:
+      // Pure reinterpretation: the raw bits pass through unchanged.
+      v = value_[static_cast<std::size_t>(nd.a)];
+      break;
+    case OpKind::Resize: {
+      const Node& na = g_.node(nd.a);
+      v = fx::align(value_[static_cast<std::size_t>(nd.a)], na.fmt, nd.fmt);
+      break;
+    }
+    case OpKind::Output:
+      v = value_[static_cast<std::size_t>(nd.a)];
+      break;
+    }
+    value_[i] = v;
+  }
+
+  // Latch registers for the next cycle.
+  next_reg = 0;
+  for (const NodeId r : g_.registers()) {
+    const Node& nd = g_.node(r);
+    reg_state_[next_reg++] = value_[static_cast<std::size_t>(nd.a)];
+  }
+}
+
+std::int64_t Simulator::raw(NodeId id) const {
+  FDBIST_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < value_.size(),
+                 "node id out of range");
+  return value_[static_cast<std::size_t>(id)];
+}
+
+double Simulator::real(NodeId id) const {
+  return g_.node(id).fmt.to_real(raw(id));
+}
+
+std::vector<double> Simulator::run_probe(
+    std::span<const std::int64_t> input_raws, NodeId probe) {
+  std::vector<double> out;
+  out.reserve(input_raws.size());
+  for (const std::int64_t x : input_raws) {
+    step(x);
+    out.push_back(real(probe));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> Simulator::run_output(
+    std::span<const std::int64_t> input_raws) {
+  FDBIST_REQUIRE(!g_.outputs().empty(), "graph has no output node");
+  const NodeId out_id = g_.outputs().front();
+  std::vector<std::int64_t> out;
+  out.reserve(input_raws.size());
+  for (const std::int64_t x : input_raws) {
+    step(x);
+    out.push_back(raw(out_id));
+  }
+  return out;
+}
+
+} // namespace fdbist::rtl

@@ -1,0 +1,50 @@
+// Test-pattern-generator interface.
+//
+// Every generator emits one word per clock, interpreted as a
+// two's-complement number in [-1, 1) (paper Section 6).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fixedpoint/format.hpp"
+
+namespace fdbist::tpg {
+
+class Generator {
+public:
+  virtual ~Generator() = default;
+
+  /// Next raw word (two's complement, `width()` bits, sign-extended).
+  virtual std::int64_t next_raw() = 0;
+  /// Restart the sequence from its seed.
+  virtual void reset() = 0;
+  virtual int width() const = 0;
+  virtual std::string name() const = 0;
+
+  fx::Format format() const { return fx::Format::unit(width()); }
+  double next_real() { return format().to_real(next_raw()); }
+
+  std::vector<std::int64_t> generate_raw(std::size_t n);
+  std::vector<double> generate_real(std::size_t n);
+};
+
+/// The generator families characterized in the paper (Figure 4, Table 3).
+enum class GeneratorKind {
+  Lfsr1,  ///< Type 1 (external-XOR) LFSR
+  Lfsr2,  ///< Type 2 (embedded-XOR) LFSR, polynomial 12B9h
+  LfsrD,  ///< decorrelated Type 1 LFSR
+  LfsrM,  ///< maximum-variance LFSR (one bit per test)
+  Ramp,   ///< count-by-one counter
+};
+
+const char* kind_name(GeneratorKind k); ///< "LFSR-1", "LFSR-2", ...
+
+/// Factory for the standard experiment configuration (paper Section 8:
+/// 12-bit versions of each generator).
+std::unique_ptr<Generator> make_generator(GeneratorKind k, int width = 12,
+                                          std::uint64_t seed = 1);
+
+} // namespace fdbist::tpg

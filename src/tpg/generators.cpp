@@ -1,0 +1,137 @@
+#include "tpg/generators.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace fdbist::tpg {
+
+std::vector<std::int64_t> Generator::generate_raw(std::size_t n) {
+  std::vector<std::int64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next_raw());
+  return out;
+}
+
+std::vector<double> Generator::generate_real(std::size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next_real());
+  return out;
+}
+
+const char* kind_name(GeneratorKind k) {
+  switch (k) {
+  case GeneratorKind::Lfsr1: return "LFSR-1";
+  case GeneratorKind::Lfsr2: return "LFSR-2";
+  case GeneratorKind::LfsrD: return "LFSR-D";
+  case GeneratorKind::LfsrM: return "LFSR-M";
+  case GeneratorKind::Ramp: return "Ramp";
+  }
+  return "?";
+}
+
+std::unique_ptr<Generator> make_generator(GeneratorKind k, int width,
+                                          std::uint64_t seed) {
+  const auto s = static_cast<std::uint32_t>(seed);
+  switch (k) {
+  case GeneratorKind::Lfsr1:
+    return std::make_unique<Lfsr1>(width, s, ShiftDirection::LsbToMsb);
+  case GeneratorKind::Lfsr2:
+    // The paper's example: polynomial 12B9h, shifting LSB-to-MSB.
+    if (width == 12)
+      return std::make_unique<Lfsr2>(Polynomial::from_hex_with_top(0x12B9),
+                                     s, ShiftDirection::LsbToMsb);
+    return std::make_unique<Lfsr2>(width, s, ShiftDirection::LsbToMsb);
+  case GeneratorKind::LfsrD:
+    return std::make_unique<DecorrelatedLfsr>(width, s);
+  case GeneratorKind::LfsrM:
+    return std::make_unique<MaxVarianceLfsr>(width, s);
+  case GeneratorKind::Ramp:
+    return std::make_unique<RampGenerator>(width);
+  }
+  FDBIST_ASSERT(false, "unknown generator kind");
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------
+
+DecorrelatedLfsr::DecorrelatedLfsr(int width, std::uint32_t seed,
+                                   ShiftDirection dir)
+    : inner_(width, seed, dir) {}
+
+std::int64_t DecorrelatedLfsr::next_raw() {
+  std::uint64_t w =
+      static_cast<std::uint64_t>(inner_.next_raw()) & low_mask(width());
+  // Invert all bits other than the LSB whenever the LSB is 1.
+  if (w & 1u) w ^= low_mask(width()) & ~std::uint64_t{1};
+  return sign_extend(w, width());
+}
+
+MaxVarianceLfsr::MaxVarianceLfsr(int width, std::uint32_t seed,
+                                 ShiftDirection dir)
+    : inner_(width, seed, dir), width_(width) {}
+
+std::int64_t MaxVarianceLfsr::next_raw() {
+  const fx::Format f = format();
+  return inner_.next_bit() ? f.raw_min() : f.raw_max();
+}
+
+RampGenerator::RampGenerator(int width, std::int64_t start, std::int64_t step)
+    : width_(width), start_(wrap_to_width(start, width)), step_(step),
+      value_(start_) {
+  FDBIST_REQUIRE(width >= 2 && width <= 62, "ramp width out of range");
+}
+
+std::int64_t RampGenerator::next_raw() {
+  const std::int64_t out = value_;
+  value_ = wrap_to_width(value_ + step_, width_);
+  return out;
+}
+
+SwitchedLfsr::SwitchedLfsr(int width, std::size_t switch_after,
+                           std::uint32_t seed, ShiftDirection dir)
+    : inner_(width, seed, dir), switch_after_(switch_after) {}
+
+std::int64_t SwitchedLfsr::next_raw() {
+  const bool maxvar = count_ >= switch_after_;
+  ++count_;
+  if (!maxvar) return inner_.next_raw();
+  const fx::Format f = format();
+  return inner_.next_bit() ? f.raw_min() : f.raw_max();
+}
+
+void SwitchedLfsr::reset() {
+  inner_.reset();
+  count_ = 0;
+}
+
+SineSource::SineSource(int width, double amplitude, double frequency,
+                       double phase)
+    : width_(width), amplitude_(amplitude), frequency_(frequency),
+      phase_(phase) {
+  FDBIST_REQUIRE(width >= 2 && width <= 32, "sine width out of range");
+  FDBIST_REQUIRE(amplitude >= 0.0 && amplitude <= 1.0,
+                 "sine amplitude must lie in [0, 1]");
+}
+
+std::int64_t SineSource::next_raw() {
+  const double t = static_cast<double>(n_++);
+  const double v =
+      amplitude_ *
+      std::sin(2.0 * std::numbers::pi * frequency_ * t + phase_);
+  return fx::from_real(v, format());
+}
+
+WhiteUniformSource::WhiteUniformSource(int width, std::uint64_t seed)
+    : width_(width), seed_(seed), rng_(seed) {
+  FDBIST_REQUIRE(width >= 2 && width <= 32, "white width out of range");
+}
+
+std::int64_t WhiteUniformSource::next_raw() {
+  return sign_extend(rng_() & low_mask(width_), width_);
+}
+
+} // namespace fdbist::tpg

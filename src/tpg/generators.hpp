@@ -1,0 +1,125 @@
+// The derived/auxiliary test generators of paper Section 6: decorrelated
+// LFSR, maximum-variance LFSR, Ramp, the mixed-mode switched LFSR of
+// Section 9, and the analog-style sources (sine, ideal white) used in the
+// fault-injection and distribution experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "common/xoshiro.hpp"
+#include "tpg/lfsr.hpp"
+
+namespace fdbist::tpg {
+
+/// Type 1 LFSR with the paper's decorrelator attached: whenever the LSB of
+/// the word is 1, all other bits are inverted. Flattens the Type 1
+/// spectrum while keeping no-repeat/near-zero-mean maximal-length
+/// properties (variance ~= 1/3).
+class DecorrelatedLfsr final : public Generator {
+public:
+  explicit DecorrelatedLfsr(int width, std::uint32_t seed = 1,
+                            ShiftDirection dir = ShiftDirection::LsbToMsb);
+
+  std::int64_t next_raw() override;
+  void reset() override { inner_.reset(); }
+  int width() const override { return inner_.width(); }
+  std::string name() const override { return "LFSR-D"; }
+
+private:
+  Lfsr1 inner_;
+};
+
+/// Maximum-variance LFSR: consumes one LFSR bit per test and outputs the
+/// most positive or most negative word (variance 1, flat spectrum).
+class MaxVarianceLfsr final : public Generator {
+public:
+  explicit MaxVarianceLfsr(int width, std::uint32_t seed = 1,
+                           ShiftDirection dir = ShiftDirection::LsbToMsb);
+
+  std::int64_t next_raw() override;
+  void reset() override { inner_.reset(); }
+  int width() const override { return width_; }
+  std::string name() const override { return "LFSR-M"; }
+
+private:
+  Lfsr1 inner_;
+  int width_;
+};
+
+/// Count-by-one ramp (sawtooth in two's complement): nearly all power at
+/// very low frequencies.
+class RampGenerator final : public Generator {
+public:
+  explicit RampGenerator(int width, std::int64_t start = 0,
+                         std::int64_t step = 1);
+
+  std::int64_t next_raw() override;
+  void reset() override { value_ = start_; }
+  int width() const override { return width_; }
+  std::string name() const override { return "Ramp"; }
+
+private:
+  int width_;
+  std::int64_t start_;
+  std::int64_t step_;
+  std::int64_t value_;
+};
+
+/// The Section 9 mixed scheme: a single Type 1 LFSR run in normal
+/// (word-output) mode for `switch_after` vectors, then in maximum-variance
+/// mode. Costs one mode flop over a plain LFSR.
+class SwitchedLfsr final : public Generator {
+public:
+  SwitchedLfsr(int width, std::size_t switch_after, std::uint32_t seed = 1,
+               ShiftDirection dir = ShiftDirection::LsbToMsb);
+
+  std::int64_t next_raw() override;
+  void reset() override;
+  int width() const override { return inner_.width(); }
+  std::string name() const override { return "LFSR-1/M"; }
+  bool in_max_variance_mode() const { return count_ >= switch_after_; }
+
+private:
+  Lfsr1 inner_;
+  std::size_t switch_after_;
+  std::size_t count_ = 0;
+};
+
+/// Quantized sine source (used to reproduce Figure 2's fault-injection
+/// experiment: a normal-operating-conditions stimulus).
+class SineSource final : public Generator {
+public:
+  SineSource(int width, double amplitude, double frequency,
+             double phase = 0.0);
+
+  std::int64_t next_raw() override;
+  void reset() override { n_ = 0; }
+  int width() const override { return width_; }
+  std::string name() const override { return "Sine"; }
+
+private:
+  int width_;
+  double amplitude_;
+  double frequency_;
+  double phase_;
+  std::size_t n_ = 0;
+};
+
+/// Idealized generator producing statistically independent uniform words
+/// (the "theoretical" generator of Figure 9).
+class WhiteUniformSource final : public Generator {
+public:
+  explicit WhiteUniformSource(int width, std::uint64_t seed = 42);
+
+  std::int64_t next_raw() override;
+  void reset() override { rng_ = Xoshiro256{seed_}; }
+  int width() const override { return width_; }
+  std::string name() const override { return "White"; }
+
+private:
+  int width_;
+  std::uint64_t seed_;
+  Xoshiro256 rng_;
+};
+
+} // namespace fdbist::tpg

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "common/xoshiro.hpp"
+
+namespace fdbist {
+namespace {
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(12), 0xFFFu);
+  EXPECT_EQ(low_mask(63), 0x7FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, SignExtendPositive) {
+  EXPECT_EQ(sign_extend(0x5, 4), 5);
+  EXPECT_EQ(sign_extend(0x7FF, 12), 2047);
+  EXPECT_EQ(sign_extend(0, 16), 0);
+}
+
+TEST(Bits, SignExtendNegative) {
+  EXPECT_EQ(sign_extend(0x8, 4), -8);
+  EXPECT_EQ(sign_extend(0xF, 4), -1);
+  EXPECT_EQ(sign_extend(0x800, 12), -2048);
+  EXPECT_EQ(sign_extend(0xFFF, 12), -1);
+}
+
+TEST(Bits, SignExtendIgnoresHighGarbage) {
+  EXPECT_EQ(sign_extend(0xABCD0005ull, 4), 5);
+  EXPECT_EQ(sign_extend(0xFFFFFFFFFFFFFFF8ull, 4), -8);
+}
+
+TEST(Bits, WrapToWidth) {
+  EXPECT_EQ(wrap_to_width(8, 4), -8);   // overflow wraps
+  EXPECT_EQ(wrap_to_width(-9, 4), 7);   // underflow wraps
+  EXPECT_EQ(wrap_to_width(7, 4), 7);
+  EXPECT_EQ(wrap_to_width(-8, 4), -8);
+  EXPECT_EQ(wrap_to_width(16, 4), 0);
+}
+
+class WrapRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(WrapRoundTrip, InRangeValuesAreFixedPoints) {
+  const int w = GetParam();
+  const std::int64_t lo = -(std::int64_t{1} << (w - 1));
+  const std::int64_t hi = (std::int64_t{1} << (w - 1)) - 1;
+  for (std::int64_t v = lo; v <= hi; v += std::max<std::int64_t>(1, (hi - lo) / 97))
+    EXPECT_EQ(wrap_to_width(v, w), v) << "width " << w << " value " << v;
+  EXPECT_EQ(wrap_to_width(lo, w), lo);
+  EXPECT_EQ(wrap_to_width(hi, w), hi);
+}
+
+TEST_P(WrapRoundTrip, WrapIsPeriodic) {
+  const int w = GetParam();
+  const std::int64_t period = std::int64_t{1} << w;
+  for (std::int64_t v = -5; v <= 5; ++v) {
+    EXPECT_EQ(wrap_to_width(v + period, w), wrap_to_width(v, w));
+    EXPECT_EQ(wrap_to_width(v - period, w), wrap_to_width(v, w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WrapRoundTrip,
+                         ::testing::Values(2, 3, 4, 8, 12, 16, 24, 32, 48));
+
+TEST(Bits, SignedBitWidth) {
+  EXPECT_EQ(signed_bit_width(0), 1);
+  EXPECT_EQ(signed_bit_width(1), 2);
+  EXPECT_EQ(signed_bit_width(-1), 1);
+  EXPECT_EQ(signed_bit_width(-2), 2);
+  EXPECT_EQ(signed_bit_width(7), 4);
+  EXPECT_EQ(signed_bit_width(8), 5);
+  EXPECT_EQ(signed_bit_width(-8), 4);
+  EXPECT_EQ(signed_bit_width(-9), 5);
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fits_signed(7, 4));
+  EXPECT_FALSE(fits_signed(8, 4));
+  EXPECT_TRUE(fits_signed(-8, 4));
+  EXPECT_FALSE(fits_signed(-9, 4));
+}
+
+TEST(Bits, CeilPow2) {
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(2), 2u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(1000), 1024u);
+}
+
+TEST(Check, RequireThrowsPrecondition) {
+  EXPECT_THROW(FDBIST_REQUIRE(false, "boom"), precondition_error);
+  EXPECT_NO_THROW(FDBIST_REQUIRE(true, "fine"));
+}
+
+TEST(Check, AssertThrowsInvariant) {
+  EXPECT_THROW(FDBIST_ASSERT(false, "bug"), invariant_error);
+  EXPECT_NO_THROW(FDBIST_ASSERT(true, "fine"));
+}
+
+TEST(Check, MessageContainsContext) {
+  try {
+    FDBIST_REQUIRE(1 == 2, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const precondition_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("custom context"), std::string::npos);
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  double mn = 1.0;
+  double mx = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_LT(mn, 0.01);
+  EXPECT_GT(mx, 0.99);
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+} // namespace
+} // namespace fdbist

@@ -1,0 +1,83 @@
+// Reference-design module tests (the Table 1 CUTs themselves).
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "designs/reference.hpp"
+#include "dsp/fir_design.hpp"
+
+namespace fdbist::designs {
+namespace {
+
+TEST(ReferenceSpecs, NamesAndWidths) {
+  EXPECT_STREQ(reference_name(ReferenceFilter::Lowpass), "LP");
+  EXPECT_STREQ(reference_name(ReferenceFilter::Bandpass), "BP");
+  EXPECT_STREQ(reference_name(ReferenceFilter::Highpass), "HP");
+  // Table 1 widths: 12-bit input, 15/14/15-bit coefficients, 16-bit out.
+  EXPECT_EQ(reference_spec(ReferenceFilter::Lowpass).build.coef_width, 15);
+  EXPECT_EQ(reference_spec(ReferenceFilter::Bandpass).build.coef_width, 14);
+  EXPECT_EQ(reference_spec(ReferenceFilter::Highpass).build.coef_width, 15);
+  for (const auto f : {ReferenceFilter::Lowpass, ReferenceFilter::Bandpass,
+                       ReferenceFilter::Highpass}) {
+    EXPECT_EQ(reference_spec(f).build.input_width, 12);
+    EXPECT_EQ(reference_spec(f).build.output_width, 16);
+  }
+}
+
+TEST(ReferenceSpecs, TapCountsNearSixty) {
+  EXPECT_EQ(reference_spec(ReferenceFilter::Lowpass).fir.taps, 60u);
+  EXPECT_EQ(reference_spec(ReferenceFilter::Bandpass).fir.taps, 58u);
+  // Highpass is odd-length by necessity (documented substitution).
+  EXPECT_EQ(reference_spec(ReferenceFilter::Highpass).fir.taps, 61u);
+}
+
+TEST(ReferenceCoefficients, L1NormHitsTarget) {
+  for (const auto f : {ReferenceFilter::Lowpass, ReferenceFilter::Bandpass,
+                       ReferenceFilter::Highpass}) {
+    const auto h = reference_coefficients(f);
+    EXPECT_NEAR(dsp::l1_norm(h), reference_spec(f).l1_target, 1e-9)
+        << reference_name(f);
+  }
+}
+
+TEST(ReferenceCoefficients, Deterministic) {
+  const auto a = reference_coefficients(ReferenceFilter::Highpass);
+  const auto b = reference_coefficients(ReferenceFilter::Highpass);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ReferenceCoefficients, LowpassIsNarrowBand) {
+  // The LP's passband must sit inside the LFSR-1 rolloff region for the
+  // paper's Section 5 phenomenon to appear.
+  const auto spec = reference_spec(ReferenceFilter::Lowpass);
+  EXPECT_LE(spec.fir.f1, 0.06);
+}
+
+TEST(MakeAll, ReturnsThreeInTableOrder) {
+  const auto all = make_all_references();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "LP");
+  EXPECT_EQ(all[1].name, "BP");
+  EXPECT_EQ(all[2].name, "HP");
+}
+
+TEST(MakeReference, TapAccumulatorsMatchTapCount) {
+  for (const auto f : {ReferenceFilter::Lowpass, ReferenceFilter::Bandpass,
+                       ReferenceFilter::Highpass}) {
+    const auto d = make_reference(f);
+    EXPECT_EQ(d.tap_accumulators.size(), reference_spec(f).fir.taps)
+        << reference_name(f);
+    EXPECT_EQ(d.coefs.size(), reference_spec(f).fir.taps);
+  }
+}
+
+TEST(MakeReference, QuantizationErrorWithinLsb) {
+  const auto d = make_reference(ReferenceFilter::Lowpass);
+  const auto ideal = reference_coefficients(ReferenceFilter::Lowpass);
+  for (std::size_t i = 0; i < d.coefs.size(); ++i)
+    EXPECT_LE(std::abs(d.coefs[i].real() - ideal[i]),
+              d.coefs[i].fmt.lsb()) << i;
+}
+
+} // namespace
+} // namespace fdbist::designs

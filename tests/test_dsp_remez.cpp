@@ -1,0 +1,148 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "dsp/fir_design.hpp"
+#include "dsp/linalg.hpp"
+#include "dsp/remez.hpp"
+
+namespace fdbist::dsp {
+namespace {
+
+double db(double m) { return 20.0 * std::log10(std::max(m, 1e-30)); }
+
+TEST(Linalg, SolvesKnownSystem) {
+  // 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+  const auto x = solve_linear_system({{2, 1}, {1, -1}}, {5, 1});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Linalg, PivotingHandlesZeroDiagonal) {
+  const auto x = solve_linear_system({{0, 1}, {1, 0}}, {3, 4});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, RandomRoundTrip) {
+  // A x = b with known x must be recovered.
+  const std::vector<std::vector<double>> a = {
+      {4, 1, -2, 0.5}, {1, 5, 0.25, -1}, {-2, 0.25, 6, 1}, {0.5, -1, 1, 3}};
+  const std::vector<double> x_true = {1.5, -2.0, 0.75, 3.25};
+  std::vector<double> b(4, 0.0);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) b[i] += a[i][j] * x_true[j];
+  const auto x = solve_linear_system(a, b);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Linalg, SingularDetected) {
+  EXPECT_THROW(solve_linear_system({{1, 2}, {2, 4}}, {1, 2}),
+               invariant_error);
+  EXPECT_THROW(solve_linear_system({{1, 2}}, {1, 2}), precondition_error);
+}
+
+// ----------------------------------------------------------------- remez
+
+std::vector<RemezBand> lowpass_bands(double fp, double fs, double wstop) {
+  return {{0.0, fp, 1.0, 1.0}, {fs, 0.5, 0.0, wstop}};
+}
+
+TEST(Remez, LowpassMeetsSpec) {
+  const auto r = design_remez(31, lowpass_bands(0.1, 0.16, 1.0));
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.ripple, 0.05); // a 31-tap design comfortably beats this
+  // Passband within +-ripple of 1, stopband within ripple of 0.
+  for (double f = 0.0; f <= 0.1; f += 0.005)
+    EXPECT_NEAR(std::abs(freq_response(r.h, f)), 1.0, 1.5 * r.ripple) << f;
+  for (double f = 0.16; f <= 0.5; f += 0.005)
+    EXPECT_LE(std::abs(freq_response(r.h, f)), 1.5 * r.ripple) << f;
+}
+
+TEST(Remez, ImpulseResponseIsSymmetric) {
+  const auto r = design_remez(41, lowpass_bands(0.08, 0.14, 2.0));
+  for (std::size_t i = 0; i < r.h.size() / 2; ++i)
+    EXPECT_NEAR(r.h[i], r.h[r.h.size() - 1 - i], 1e-12);
+}
+
+TEST(Remez, WeightTradesRippleBetweenBands) {
+  const auto balanced = design_remez(31, lowpass_bands(0.1, 0.16, 1.0));
+  const auto stop_heavy = design_remez(31, lowpass_bands(0.1, 0.16, 10.0));
+  // A heavier stopband weight buys more stopband attenuation at the
+  // price of larger passband ripple.
+  auto stop_peak = [](const std::vector<double>& h) {
+    double peak = 0.0;
+    for (double f = 0.16; f <= 0.5; f += 0.002)
+      peak = std::max(peak, std::abs(freq_response(h, f)));
+    return peak;
+  };
+  auto pass_err = [](const std::vector<double>& h) {
+    double worst = 0.0;
+    for (double f = 0.0; f <= 0.1; f += 0.002)
+      worst = std::max(worst, std::abs(std::abs(freq_response(h, f)) - 1.0));
+    return worst;
+  };
+  EXPECT_LT(stop_peak(stop_heavy.h), stop_peak(balanced.h));
+  EXPECT_GT(pass_err(stop_heavy.h), pass_err(balanced.h));
+}
+
+TEST(Remez, EquirippleBeatsKaiserAtSameLength) {
+  // The minimax property: for the same length and band edges, the
+  // equiripple design's worst stopband level is at least as good as the
+  // Kaiser window's.
+  constexpr std::size_t taps = 41;
+  const auto remez = design_remez(taps, lowpass_bands(0.1, 0.15, 1.0));
+  const FirSpec spec{FilterKind::Lowpass, taps, 0.125, 0.0, 5.0};
+  const auto kaiser = design_fir(spec);
+  auto worst = [](const std::vector<double>& h) {
+    double peak = 0.0;
+    for (double f = 0.15; f <= 0.5; f += 0.001)
+      peak = std::max(peak, std::abs(freq_response(h, f)));
+    return peak;
+  };
+  EXPECT_LT(db(worst(remez.h)), db(worst(kaiser)));
+}
+
+TEST(Remez, BandpassDesign) {
+  const std::vector<RemezBand> bands = {{0.0, 0.12, 0.0, 1.0},
+                                        {0.18, 0.32, 1.0, 1.0},
+                                        {0.38, 0.5, 0.0, 1.0}};
+  const auto r = design_remez(51, bands);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(std::abs(freq_response(r.h, 0.25)), 1.0, 2.0 * r.ripple);
+  EXPECT_LE(std::abs(freq_response(r.h, 0.05)), 2.0 * r.ripple);
+  EXPECT_LE(std::abs(freq_response(r.h, 0.45)), 2.0 * r.ripple);
+}
+
+TEST(Remez, HighpassDesign) {
+  const std::vector<RemezBand> bands = {{0.0, 0.3, 0.0, 1.0},
+                                        {0.38, 0.5, 1.0, 1.0}};
+  const auto r = design_remez(41, bands);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(std::abs(freq_response(r.h, 0.48)), 1.0, 2.0 * r.ripple);
+  EXPECT_LE(std::abs(freq_response(r.h, 0.1)), 2.0 * r.ripple);
+}
+
+TEST(Remez, LongerFilterSmallerRipple) {
+  const auto bands = lowpass_bands(0.1, 0.15, 1.0);
+  const auto short_f = design_remez(21, bands);
+  const auto long_f = design_remez(51, bands);
+  EXPECT_LT(long_f.ripple, short_f.ripple);
+}
+
+TEST(Remez, RejectsBadSpecs) {
+  EXPECT_THROW(design_remez(30, lowpass_bands(0.1, 0.16, 1.0)),
+               precondition_error); // even length
+  EXPECT_THROW(design_remez(31, {}), precondition_error);
+  EXPECT_THROW(design_remez(31, {{0.2, 0.1, 1.0, 1.0}}),
+               precondition_error); // inverted edges
+  EXPECT_THROW(design_remez(31, {{0.0, 0.2, 1.0, 1.0},
+                                 {0.1, 0.3, 0.0, 1.0}}),
+               precondition_error); // overlap
+  EXPECT_THROW(design_remez(31, {{0.0, 0.2, 1.0, -1.0}}),
+               precondition_error); // bad weight
+}
+
+} // namespace
+} // namespace fdbist::dsp

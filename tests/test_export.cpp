@@ -1,0 +1,105 @@
+#include <sstream>
+#include <gtest/gtest.h>
+
+#include "gate/verilog.hpp"
+#include "rtl/dot_export.hpp"
+#include "rtl/fir_builder.hpp"
+
+namespace fdbist {
+namespace {
+
+const rtl::FilterDesign& small_design() {
+  static const auto d =
+      rtl::build_fir({0.22, -0.31, 0.085}, {}, "small");
+  return d;
+}
+
+TEST(Verilog, ContainsModuleSkeleton) {
+  const auto low = gate::lower(small_design().graph);
+  const auto v = gate::to_verilog(low.netlist);
+  EXPECT_NE(v.find("module fdbist_filter"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input wire clk"), std::string::npos);
+  EXPECT_NE(v.find("input wire [11:0] x0"), std::string::npos);
+  EXPECT_NE(v.find("output wire [15:0] y0"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+}
+
+TEST(Verilog, EveryNetDeclaredExactlyOnce) {
+  const auto low = gate::lower(small_design().graph);
+  const auto v = gate::to_verilog(low.netlist);
+  for (std::size_t i = 0; i < low.netlist.size(); ++i) {
+    const std::string decl_wire = "wire n" + std::to_string(i) + ";";
+    const std::string decl_reg = "reg n" + std::to_string(i) + ";";
+    const bool has_wire = v.find(decl_wire) != std::string::npos;
+    const bool has_reg = v.find(decl_reg) != std::string::npos;
+    EXPECT_TRUE(has_wire != has_reg) << "net " << i;
+  }
+}
+
+TEST(Verilog, GateOperatorsEmitted) {
+  const auto low = gate::lower(small_design().graph);
+  const auto v = gate::to_verilog(low.netlist);
+  EXPECT_NE(v.find(" ^ "), std::string::npos); // XOR cells
+  EXPECT_NE(v.find(" & "), std::string::npos); // carry ANDs
+  EXPECT_NE(v.find(" | "), std::string::npos); // carry ORs
+  EXPECT_NE(v.find("1'b0"), std::string::npos);
+}
+
+TEST(Verilog, RegisterCountMatches) {
+  const auto low = gate::lower(small_design().graph);
+  const auto v = gate::to_verilog(low.netlist);
+  std::size_t arrows = 0;
+  for (std::size_t p = v.find("<="); p != std::string::npos;
+       p = v.find("<=", p + 1))
+    ++arrows;
+  // Each register bit appears twice: reset branch and data branch.
+  EXPECT_EQ(arrows, 2 * low.netlist.registers().size());
+}
+
+TEST(Verilog, CustomNames) {
+  const auto low = gate::lower(small_design().graph);
+  gate::VerilogOptions opt;
+  opt.module_name = "my_filter";
+  opt.clock_name = "clock";
+  opt.reset_name = "reset_n";
+  const auto v = gate::to_verilog(low.netlist, opt);
+  EXPECT_NE(v.find("module my_filter"), std::string::npos);
+  EXPECT_NE(v.find("posedge clock"), std::string::npos);
+  EXPECT_NE(v.find("if (reset_n)"), std::string::npos);
+  gate::VerilogOptions bad;
+  bad.module_name = "";
+  std::ostringstream os;
+  EXPECT_THROW(gate::write_verilog(os, low.netlist, bad),
+               precondition_error);
+}
+
+TEST(Dot, ContainsAllNodesAndEdges) {
+  const auto& d = small_design();
+  const auto dot = rtl::to_dot(d.graph);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  // One node statement per RTL node.
+  std::size_t nodes = 0;
+  for (std::size_t p = dot.find("[shape="); p != std::string::npos;
+       p = dot.find("[shape=", p + 1))
+    ++nodes;
+  EXPECT_EQ(nodes, d.graph.size());
+  // Named nodes carry their labels.
+  EXPECT_NE(dot.find("tap1.acc"), std::string::npos);
+  EXPECT_NE(dot.find("x.reg"), std::string::npos);
+}
+
+TEST(Dot, FormatsToggle) {
+  const auto& d = small_design();
+  rtl::DotOptions opt;
+  opt.show_formats = false;
+  const auto plain = rtl::to_dot(d.graph, opt);
+  EXPECT_EQ(plain.find("(w16)"), std::string::npos);
+  opt.show_formats = true;
+  const auto annotated = rtl::to_dot(d.graph, opt);
+  EXPECT_NE(annotated.find("(w16)"), std::string::npos);
+}
+
+} // namespace
+} // namespace fdbist

@@ -1,0 +1,178 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "fixedpoint/format.hpp"
+
+namespace fdbist::fx {
+namespace {
+
+TEST(Format, UnitConvention) {
+  // Paper Section 2: an N-bit signal is a two's-complement number in
+  // [-1, 1).
+  const Format f = Format::unit(12);
+  EXPECT_EQ(f.width, 12);
+  EXPECT_EQ(f.frac, 11);
+  EXPECT_DOUBLE_EQ(f.real_min(), -1.0);
+  EXPECT_DOUBLE_EQ(f.real_max(), 1.0 - std::ldexp(1.0, -11));
+}
+
+TEST(Format, RawRange) {
+  const Format f{8, 4};
+  EXPECT_EQ(f.raw_min(), -128);
+  EXPECT_EQ(f.raw_max(), 127);
+  EXPECT_DOUBLE_EQ(f.to_real(16), 1.0);
+  EXPECT_DOUBLE_EQ(f.to_real(-16), -1.0);
+  EXPECT_DOUBLE_EQ(f.lsb(), 1.0 / 16.0);
+}
+
+TEST(Format, FracMayExceedWidth) {
+  // A narrow signal deep below the binary point (e.g. a shifted CSD term).
+  const Format f{4, 10};
+  EXPECT_DOUBLE_EQ(f.real_max(), 7.0 / 1024.0);
+  EXPECT_DOUBLE_EQ(f.real_min(), -8.0 / 1024.0);
+}
+
+TEST(Format, ToStringIsReadable) {
+  EXPECT_EQ(Format({16, 15}).to_string(), "Q0.15(w16)");
+  EXPECT_EQ((Format{16, 12}).to_string(), "Q3.12(w16)");
+}
+
+TEST(WrapSaturate, Basics) {
+  const Format f{4, 0};
+  EXPECT_EQ(wrap(8, f), -8);
+  EXPECT_EQ(saturate(8, f), 7);
+  EXPECT_EQ(saturate(-100, f), -8);
+  EXPECT_TRUE(representable(7, f));
+  EXPECT_FALSE(representable(8, f));
+}
+
+TEST(FromReal, RoundsToNearest) {
+  const Format f{8, 4}; // lsb = 1/16
+  EXPECT_EQ(from_real(0.5, f), 8);
+  EXPECT_EQ(from_real(0.49, f), 8);   // rounds to 8/16
+  EXPECT_EQ(from_real(0.46, f), 7);   // rounds to 7/16
+  EXPECT_EQ(from_real(-0.5, f), -8);
+}
+
+TEST(FromReal, SaturatesAtRails) {
+  const Format f = Format::unit(8);
+  EXPECT_EQ(from_real(2.0, f), f.raw_max());
+  EXPECT_EQ(from_real(-2.0, f), f.raw_min());
+  EXPECT_EQ(from_real(1.0, f), f.raw_max()); // +1 not representable
+  EXPECT_EQ(from_real(-1.0, f), f.raw_min());
+}
+
+TEST(FromReal, NanMapsToZero) {
+  EXPECT_EQ(from_real(std::nan(""), Format::unit(8)), 0);
+}
+
+TEST(FromReal, RoundTripWithinHalfLsb) {
+  const Format f = Format::unit(12);
+  for (double v = -0.999; v < 0.999; v += 0.0137) {
+    const double back = f.to_real(from_real(v, f));
+    EXPECT_NEAR(back, v, f.lsb() / 2 + 1e-12);
+  }
+}
+
+TEST(Align, PureSignExtensionPreservesValue) {
+  const Format narrow{8, 4};
+  const Format wide{16, 4};
+  for (std::int64_t r = narrow.raw_min(); r <= narrow.raw_max(); ++r)
+    EXPECT_EQ(align(r, narrow, wide), r);
+}
+
+TEST(Align, LeftShiftAddsFractionBits) {
+  const Format src{8, 4};
+  const Format dst{12, 8};
+  EXPECT_EQ(align(5, src, dst), 5 * 16);
+  EXPECT_EQ(align(-3, src, dst), -48);
+  // Value preserved exactly.
+  EXPECT_DOUBLE_EQ(dst.to_real(align(7, src, dst)), src.to_real(7));
+}
+
+TEST(Align, TruncationRoundsTowardMinusInfinity) {
+  const Format src{12, 8};
+  const Format dst{8, 4};
+  EXPECT_EQ(align(0x10, src, dst), 1);  // exact
+  EXPECT_EQ(align(0x1F, src, dst), 1);  // 31/256 -> floor
+  EXPECT_EQ(align(-1, src, dst), -1);   // -1/256 -> -1/16 (floor)
+  EXPECT_EQ(align(-16, src, dst), -1);
+  EXPECT_EQ(align(-17, src, dst), -2);
+}
+
+TEST(Align, DroppedMsbsWrap) {
+  const Format src{12, 0};
+  const Format dst{4, 0};
+  EXPECT_EQ(align(8, src, dst), -8);
+  EXPECT_EQ(align(23, src, dst), 7);
+}
+
+class AlignProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AlignProperty, TruncationErrorBounded) {
+  // align() must never introduce more than one destination LSB of error
+  // when the value fits the destination range.
+  const auto [sw, dfr] = GetParam();
+  const Format src{sw, 10};
+  const Format dst{16, dfr};
+  for (std::int64_t r = src.raw_min(); r <= src.raw_max();
+       r += std::max<std::int64_t>(1, (src.raw_max() - src.raw_min()) / 151)) {
+    const double v = src.to_real(r);
+    if (v < dst.real_min() || v > dst.real_max()) continue;
+    const double w = dst.to_real(align(r, src, dst));
+    EXPECT_LE(std::abs(w - v), dst.lsb()) << src.to_string() << " -> "
+                                          << dst.to_string() << " raw " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, AlignProperty,
+    ::testing::Values(std::pair{8, 6}, std::pair{8, 10}, std::pair{8, 14},
+                      std::pair{12, 4}, std::pair{12, 10}, std::pair{12, 12},
+                      std::pair{14, 8}));
+
+TEST(FormatArith, AddFormat) {
+  const Format a{12, 11};
+  const Format b{8, 11};
+  const Format s = add_format(a, b);
+  EXPECT_EQ(s.frac, 11);
+  EXPECT_EQ(s.width - s.frac, (12 - 11) + 1); // one growth bit
+}
+
+TEST(FormatArith, AddFormatMixedFrac) {
+  const Format a{12, 8};
+  const Format b{10, 4};
+  const Format s = add_format(a, b);
+  EXPECT_EQ(s.frac, 8);
+  // int bits: max(4, 6) + 1 = 7.
+  EXPECT_EQ(s.width, 7 + 8);
+}
+
+TEST(FormatArith, AddFormatNeverOverflows) {
+  const Format a{12, 8};
+  const Format b{10, 4};
+  const Format s = add_format(a, b);
+  // The extreme corners must be representable.
+  const std::int64_t corner =
+      align(a.raw_min(), a, s) + align(b.raw_min(), b, s);
+  EXPECT_TRUE(representable(corner, s));
+  const std::int64_t corner2 =
+      align(a.raw_max(), a, s) + align(b.raw_max(), b, s);
+  EXPECT_TRUE(representable(corner2, s));
+}
+
+TEST(FormatArith, MulFormat) {
+  const Format a = Format::unit(12);
+  const Format b = Format::unit(15);
+  const Format p = mul_format(a, b);
+  EXPECT_EQ(p.frac, 11 + 14);
+  EXPECT_EQ(p.width, 12 + 15 - 1);
+  // Extreme product fits: (-1) * (-1) = +1 needs care, but raw product of
+  // raw_min*raw_min is 2^25 which is raw_max+1... two's complement
+  // convention: the only overflow case is (-1)*(-1); all others fit.
+  const std::int64_t prod = a.raw_max() * b.raw_min();
+  EXPECT_TRUE(representable(prod, p));
+}
+
+} // namespace
+} // namespace fdbist::fx

@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include "common/xoshiro.hpp"
+#include "gate/lower.hpp"
+#include "gate/sim.hpp"
+#include "rtl/sim.hpp"
+
+namespace fdbist::gate {
+namespace {
+
+// Build a single-adder RTL graph: out = a +/- b in the given format.
+struct AdderFixture {
+  rtl::Graph g;
+  rtl::NodeId a, b, s, y;
+
+  AdderFixture(int wa, int wb, int ws, bool subtract) {
+    a = g.input(fx::Format{wa, 0});
+    b = g.input(fx::Format{wb, 0});
+    s = subtract ? g.sub(a, b, fx::Format{ws, 0})
+                 : g.add(a, b, fx::Format{ws, 0});
+    y = g.output(s);
+  }
+};
+
+class AdderExhaustive
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(AdderExhaustive, GateMatchesRtlForAllOperands) {
+  const auto [wa, wb, ws, subtract] = GetParam();
+  AdderFixture f(wa, wb, ws, subtract);
+  auto low = lower(f.g);
+  rtl::Simulator rs(f.g);
+  WordSim ws_sim(low.netlist);
+  const fx::Format fa{wa, 0};
+  const fx::Format fb{wb, 0};
+  for (std::int64_t va = fa.raw_min(); va <= fa.raw_max(); ++va) {
+    for (std::int64_t vb = fb.raw_min(); vb <= fb.raw_max(); ++vb) {
+      const std::int64_t ins[] = {va, vb};
+      rs.step(std::span<const std::int64_t>{ins});
+      ws_sim.step_broadcast(std::span<const std::int64_t>{ins});
+      ASSERT_EQ(ws_sim.lane_value(low.node_bits[std::size_t(f.y)], 0),
+                rs.raw(f.y))
+          << "a=" << va << " b=" << vb;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AdderExhaustive,
+    ::testing::Values(std::tuple{4, 4, 5, false}, std::tuple{4, 4, 5, true},
+                      std::tuple{4, 4, 4, false}, // wrapping adder
+                      std::tuple{4, 4, 4, true},
+                      std::tuple{6, 3, 7, false}, // variance mismatch
+                      std::tuple{6, 3, 7, true},
+                      std::tuple{3, 6, 6, false},
+                      std::tuple{2, 2, 3, true}));
+
+TEST(Lowering, MixedFracAddMatchesRtl) {
+  rtl::Graph g;
+  const auto x = g.input(fx::Format{8, 4});
+  const auto sc = g.scale(x, 3);
+  const auto t = g.resize(sc, fx::Format{6, 5});
+  const auto s = g.add(x, t, fx::Format{10, 5});
+  const auto y = g.output(s);
+  auto low = lower(g);
+  rtl::Simulator rs(g);
+  WordSim ws(low.netlist);
+  for (std::int64_t v = -128; v <= 127; ++v) {
+    rs.step(v);
+    ws.step_broadcast(v);
+    ASSERT_EQ(ws.lane_value(low.node_bits[std::size_t(y)], 0), rs.raw(y))
+        << v;
+  }
+}
+
+TEST(Lowering, RegisterChainMatchesRtl) {
+  rtl::Graph g;
+  const auto x = g.input(fx::Format{6, 0});
+  const auto r1 = g.reg(x);
+  const auto r2 = g.reg(r1);
+  const auto s = g.add(r2, x, fx::Format{7, 0});
+  const auto y = g.output(s);
+  auto low = lower(g);
+  rtl::Simulator rs(g);
+  WordSim ws(low.netlist);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.below(64)) - 32;
+    rs.step(v);
+    ws.step_broadcast(v);
+    ASSERT_EQ(ws.lane_value(low.node_bits[std::size_t(y)], 0), rs.raw(y));
+  }
+}
+
+TEST(Lowering, ConstBitsWired) {
+  rtl::Graph g;
+  const auto x = g.input(fx::Format{4, 0});
+  const auto c = g.constant(-3, fx::Format{4, 0});
+  const auto s = g.add(x, c, fx::Format{5, 0});
+  const auto y = g.output(s);
+  auto low = lower(g);
+  WordSim ws(low.netlist);
+  ws.step_broadcast(std::int64_t{5});
+  EXPECT_EQ(ws.lane_value(low.node_bits[std::size_t(y)], 0), 2);
+}
+
+TEST(Lowering, GateCountsReasonable) {
+  // A w-bit adder has 1 LSB cell (XOR+AND), w-2 middle cells (5 gates)
+  // and an MSB cell (2 XOR).
+  rtl::Graph g;
+  const auto a = g.input(fx::Format{8, 0});
+  const auto b = g.input(fx::Format{8, 0});
+  const auto s = g.add(a, b, fx::Format{8, 0});
+  g.output(s);
+  auto low = lower(g);
+  EXPECT_EQ(low.netlist.logic_gate_count(), 2u + 6u * 5u + 2u);
+}
+
+TEST(Lowering, SubtractorAddsInverters) {
+  rtl::Graph g;
+  const auto a = g.input(fx::Format{8, 0});
+  const auto b = g.input(fx::Format{8, 0});
+  const auto s = g.sub(a, b, fx::Format{8, 0});
+  g.output(s);
+  auto low = lower(g);
+  std::size_t nots = 0;
+  for (std::size_t i = 0; i < low.netlist.size(); ++i)
+    if (low.netlist.gate(static_cast<NetId>(i)).op == GateOp::Not &&
+        low.netlist.origin(static_cast<NetId>(i)).role ==
+            CellRole::OperandNot)
+      ++nots;
+  EXPECT_EQ(nots, 8u);
+}
+
+TEST(Lowering, SelfAdditionFoldsToWiring) {
+  // x + x is a shift: every cell folds (x1 = a XOR a = 0, cout = a), so
+  // no gates — and no structurally undetectable fault sites — remain.
+  rtl::Graph g;
+  const auto a = g.input(fx::Format{4, 0});
+  const auto s = g.add(a, a, fx::Format{5, 0}, "dbl");
+  const auto y = g.output(s);
+  auto low = lower(g);
+  EXPECT_EQ(low.netlist.logic_gate_count(), 0u);
+  WordSim ws(low.netlist);
+  for (std::int64_t v = -8; v <= 7; ++v) {
+    ws.step_broadcast(v);
+    EXPECT_EQ(ws.lane_value(low.node_bits[std::size_t(y)], 0), 2 * v);
+  }
+}
+
+TEST(Lowering, SignExtensionCellsShareLogic) {
+  // Adding two scaled copies of one signal: the sign-extension region
+  // degenerates and is shared, not replicated per bit.
+  rtl::Graph g;
+  const auto x = g.input(fx::Format{4, 0});
+  const auto sc = g.scale(x, 3); // frac 3
+  const auto s = g.add(x, sc, fx::Format{9, 3});
+  const auto y = g.output(s);
+  auto low = lower(g);
+  rtl::Simulator rs(g);
+  WordSim ws(low.netlist);
+  for (std::int64_t v = -8; v <= 7; ++v) {
+    rs.step(v);
+    ws.step_broadcast(v);
+    ASSERT_EQ(ws.lane_value(low.node_bits[std::size_t(y)], 0), rs.raw(y));
+  }
+  // 8 full cells' worth of gates would be ~38; folding+sharing must cut
+  // this down substantially.
+  EXPECT_LT(low.netlist.logic_gate_count(), 30u);
+}
+
+TEST(Lowering, OriginsTagAdderBits) {
+  rtl::Graph g;
+  const auto a = g.input(fx::Format{4, 0});
+  const auto b = g.input(fx::Format{4, 0});
+  const auto s = g.add(a, b, fx::Format{5, 0}, "myadd");
+  g.output(s);
+  auto low = lower(g);
+  bool found_msb_sum = false;
+  for (std::size_t i = 0; i < low.netlist.size(); ++i) {
+    const auto& og = low.netlist.origin(static_cast<NetId>(i));
+    if (og.node == s && og.bit == 4 &&
+        (og.role == CellRole::SumXor1 || og.role == CellRole::SumXor2))
+      found_msb_sum = true;
+    if (og.role != CellRole::None) {
+      EXPECT_EQ(og.node, s);
+    }
+  }
+  EXPECT_TRUE(found_msb_sum);
+}
+
+TEST(WordSim, BroadcastFillsAllLanes) {
+  rtl::Graph g;
+  const auto x = g.input(fx::Format{4, 0});
+  const auto y = g.output(x);
+  auto low = lower(g);
+  WordSim ws(low.netlist);
+  ws.step_broadcast(std::int64_t{-3});
+  for (int lane = 0; lane < 64; ++lane)
+    EXPECT_EQ(ws.lane_value(low.node_bits[std::size_t(y)], lane), -3);
+}
+
+TEST(WordSim, OutputStuckFaultForcesLane) {
+  rtl::Graph g;
+  const auto a = g.input(fx::Format{4, 0});
+  const auto b = g.input(fx::Format{4, 0});
+  const auto s = g.add(a, b, fx::Format{5, 0});
+  const auto y = g.output(s);
+  auto low = lower(g);
+
+  // Find the LSB sum gate (SumXor1 at bit 0).
+  NetId lsb = kNoNet;
+  for (std::size_t i = 0; i < low.netlist.size(); ++i) {
+    const auto& og = low.netlist.origin(static_cast<NetId>(i));
+    if (og.node == s && og.bit == 0 && og.role == CellRole::SumXor1)
+      lsb = static_cast<NetId>(i);
+  }
+  ASSERT_NE(lsb, kNoNet);
+
+  WordSim ws(low.netlist);
+  ws.add_fault(lsb, PinSite::Output, 1, std::uint64_t{1} << 7);
+  const std::int64_t ins[] = {2, 2}; // sum 4: LSB would be 0
+  ws.step_broadcast(std::span<const std::int64_t>{ins});
+  EXPECT_EQ(ws.lane_value(low.node_bits[std::size_t(y)], 0), 4);
+  EXPECT_EQ(ws.lane_value(low.node_bits[std::size_t(y)], 7), 5);
+  EXPECT_NE(ws.output_mismatch() & (std::uint64_t{1} << 7), 0u);
+  EXPECT_EQ(ws.output_mismatch() & ~(std::uint64_t{1} << 7), 0u);
+
+  ws.clear_faults();
+  ws.step_broadcast(std::span<const std::int64_t>{ins});
+  EXPECT_EQ(ws.output_mismatch(), 0u);
+}
+
+TEST(WordSim, InputPinFaultOnlyAffectsThatGate) {
+  // a's fanout branches: a-pin stuck at the x1 gate must not disturb the
+  // a1 gate's view of a.
+  rtl::Graph g;
+  const auto a = g.input(fx::Format{3, 0});
+  const auto b = g.input(fx::Format{3, 0});
+  const auto s = g.add(a, b, fx::Format{4, 0});
+  const auto y = g.output(s);
+  auto low = lower(g);
+
+  NetId x1_bit1 = kNoNet;
+  for (std::size_t i = 0; i < low.netlist.size(); ++i) {
+    const auto& og = low.netlist.origin(static_cast<NetId>(i));
+    if (og.node == s && og.bit == 1 && og.role == CellRole::SumXor1)
+      x1_bit1 = static_cast<NetId>(i);
+  }
+  ASSERT_NE(x1_bit1, kNoNet);
+
+  WordSim ws(low.netlist);
+  ws.add_fault(x1_bit1, PinSite::InputA, 0, std::uint64_t{1} << 3);
+  const std::int64_t ins[] = {2, 0}; // a=010: bit1 feeds x1 and a1
+  ws.step_broadcast(std::span<const std::int64_t>{ins});
+  // Good lane: 2+0 = 2. Faulty lane: sum bit 1 sees a=0 -> sum bit 1
+  // becomes 0, but carry logic (a1) still sees the true a.
+  EXPECT_EQ(ws.lane_value(low.node_bits[std::size_t(y)], 0), 2);
+  EXPECT_EQ(ws.lane_value(low.node_bits[std::size_t(y)], 3), 0);
+}
+
+TEST(WordSim, LanesAreIndependent) {
+  // Two different faults in two different lanes must each behave exactly
+  // as they do when injected alone.
+  rtl::Graph g;
+  const auto a = g.input(fx::Format{4, 0});
+  const auto b = g.input(fx::Format{4, 0});
+  const auto s = g.add(a, b, fx::Format{5, 0});
+  const auto y = g.output(s);
+  auto low = lower(g);
+
+  // Pick two distinct logic gates.
+  std::vector<NetId> logic;
+  for (std::size_t i = 0; i < low.netlist.size(); ++i) {
+    const auto op = low.netlist.gate(static_cast<NetId>(i)).op;
+    if (op == GateOp::And || op == GateOp::Xor || op == GateOp::Or)
+      logic.push_back(static_cast<NetId>(i));
+  }
+  ASSERT_GE(logic.size(), 2u);
+  const NetId f1 = logic.front();
+  const NetId f2 = logic.back();
+
+  Xoshiro256 rng(3);
+  auto run_single = [&](NetId gate_id, std::uint64_t seed) {
+    WordSim ws(low.netlist);
+    ws.add_fault(gate_id, PinSite::Output, 1, 1ull << 1);
+    Xoshiro256 r(seed);
+    std::vector<std::int64_t> vals;
+    for (int i = 0; i < 64; ++i) {
+      const std::int64_t ins[] = {
+          static_cast<std::int64_t>(r.below(16)) - 8,
+          static_cast<std::int64_t>(r.below(16)) - 8};
+      ws.step_broadcast(std::span<const std::int64_t>{ins});
+      vals.push_back(ws.lane_value(low.node_bits[std::size_t(y)], 1));
+    }
+    return vals;
+  };
+  const auto solo1 = run_single(f1, 99);
+  const auto solo2 = run_single(f2, 99);
+
+  WordSim both(low.netlist);
+  both.add_fault(f1, PinSite::Output, 1, 1ull << 5);
+  both.add_fault(f2, PinSite::Output, 1, 1ull << 9);
+  Xoshiro256 r(99);
+  for (int i = 0; i < 64; ++i) {
+    const std::int64_t ins[] = {
+        static_cast<std::int64_t>(r.below(16)) - 8,
+        static_cast<std::int64_t>(r.below(16)) - 8};
+    both.step_broadcast(std::span<const std::int64_t>{ins});
+    ASSERT_EQ(both.lane_value(low.node_bits[std::size_t(y)], 5),
+              solo1[std::size_t(i)]);
+    ASSERT_EQ(both.lane_value(low.node_bits[std::size_t(y)], 9),
+              solo2[std::size_t(i)]);
+  }
+}
+
+TEST(WordSim, MultipleFaultsOnOneGateCompose) {
+  // An output s-a-0 and s-a-1 on the same gate in different lanes force
+  // opposite values.
+  rtl::Graph g;
+  const auto a = g.input(fx::Format{3, 0});
+  const auto s = g.add(a, g.reg(a), fx::Format{4, 0});
+  g.output(s);
+  auto low = lower(g);
+  NetId target = kNoNet;
+  for (std::size_t i = 0; i < low.netlist.size(); ++i)
+    if (low.netlist.gate(static_cast<NetId>(i)).op == GateOp::Xor)
+      target = static_cast<NetId>(i);
+  ASSERT_NE(target, kNoNet);
+  WordSim ws(low.netlist);
+  ws.add_fault(target, PinSite::Output, 0, 1ull << 2);
+  ws.add_fault(target, PinSite::Output, 1, 1ull << 3);
+  ws.step_broadcast(std::int64_t{3});
+  EXPECT_EQ((ws.net(target) >> 2) & 1u, 0u);
+  EXPECT_EQ((ws.net(target) >> 3) & 1u, 1u);
+}
+
+TEST(WordSim, RejectsFaultOnNonLogicGate) {
+  rtl::Graph g;
+  const auto x = g.input(fx::Format{4, 0});
+  g.output(x);
+  auto low = lower(g);
+  WordSim ws(low.netlist);
+  // Input gates cannot take faults.
+  const NetId input_net = low.netlist.inputs()[0][0];
+  EXPECT_THROW(ws.add_fault(input_net, PinSite::Output, 1, 2),
+               precondition_error);
+}
+
+TEST(Netlist, FanoutCounts) {
+  Netlist nl;
+  const NetId c0 = nl.add_gate(GateOp::Const0);
+  const NetId i0 = nl.add_gate(GateOp::Input);
+  const NetId n1 = nl.add_gate(GateOp::Not, i0);
+  const NetId a1 = nl.add_gate(GateOp::And, i0, n1);
+  nl.outputs().push_back({a1});
+  const auto fo = nl.fanout_counts();
+  EXPECT_EQ(fo[std::size_t(c0)], 0);
+  EXPECT_EQ(fo[std::size_t(i0)], 2);
+  EXPECT_EQ(fo[std::size_t(n1)], 1);
+  EXPECT_EQ(fo[std::size_t(a1)], 1); // observed output counts as a use
+}
+
+TEST(Netlist, RejectsForwardOperand) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_gate(GateOp::Not, 0), precondition_error);
+}
+
+} // namespace
+} // namespace fdbist::gate

@@ -1,0 +1,155 @@
+// Cross-cutting property tests: algebraic invariants that tie modules
+// together (linearity, symmetry, monotonicity), complementing the
+// per-module suites.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "analysis/lfsr_model.hpp"
+#include "bist/misr.hpp"
+#include "common/xoshiro.hpp"
+#include "csd/csd.hpp"
+#include "dsp/stats.hpp"
+#include "rtl/fir_builder.hpp"
+#include "rtl/scaling.hpp"
+#include "rtl/sim.hpp"
+#include "tpg/lfsr.hpp"
+
+namespace fdbist {
+namespace {
+
+TEST(Property, MisrIsLinearOverGf2) {
+  // With a zero seed, the MISR is linear: sig(x XOR y) = sig(x) XOR
+  // sig(y) for streams absorbed element-wise.
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    bist::Misr mx(24, 0);
+    bist::Misr my(24, 0);
+    bist::Misr mxy(24, 0);
+    for (int i = 0; i < 50; ++i) {
+      const std::uint64_t x = rng() & 0xFFFF;
+      const std::uint64_t y = rng() & 0xFFFF;
+      mx.absorb(x);
+      my.absorb(y);
+      mxy.absorb(x ^ y);
+    }
+    EXPECT_EQ(mxy.signature(), mx.signature() ^ my.signature());
+  }
+}
+
+TEST(Property, MisrSingleBitStreamsSeparate) {
+  // Any two streams differing in exactly one absorbed bit yield
+  // different signatures as long as fewer than 2^width words follow
+  // (no cancellation possible for a single injected error).
+  Xoshiro256 rng(5);
+  for (int pos = 0; pos < 16; ++pos) {
+    bist::Misr a(24, 0);
+    bist::Misr b(24, 0);
+    for (int i = 0; i < 40; ++i) {
+      const std::uint64_t w = rng() & 0xFFFF;
+      a.absorb(w);
+      b.absorb(i == 7 ? (w ^ (1ull << pos)) : w);
+    }
+    EXPECT_NE(a.signature(), b.signature()) << "bit " << pos;
+  }
+}
+
+TEST(Property, FilterDesignIsLinearInGain) {
+  // Halving every coefficient halves the simulated output (up to
+  // truncation): checks builder/scaling consistency end to end.
+  const std::vector<double> base{0.3, -0.2, 0.12, -0.06};
+  std::vector<double> half;
+  for (const double c : base) half.push_back(c / 2);
+  const auto d1 = rtl::build_fir(base, {}, "g1");
+  const auto d2 = rtl::build_fir(half, {}, "g2");
+  rtl::Simulator s1(d1.graph);
+  rtl::Simulator s2(d2.graph);
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 400; ++i) {
+    const auto x = static_cast<std::int64_t>(rng.below(4096)) - 2048;
+    s1.step(x);
+    s2.step(x);
+    EXPECT_NEAR(s1.real(d1.output) / 2.0, s2.real(d2.output), 2e-3);
+  }
+}
+
+TEST(Property, TimeReversedCoefficientsSameMagnitudeResponse) {
+  // A FIR and its reversal share |H| — and therefore every Eqn-1
+  // variance at the *output* (not at internal taps).
+  const std::vector<double> h{0.3, -0.2, 0.12, -0.06, 0.21};
+  std::vector<double> r(h.rbegin(), h.rend());
+  const auto d1 = rtl::build_fir(h, {}, "fwd");
+  const auto d2 = rtl::build_fir(r, {}, "rev");
+  const auto& o1 = d1.linear[std::size_t(d1.output)];
+  const auto& o2 = d2.linear[std::size_t(d2.output)];
+  double e1 = 0.0;
+  double e2 = 0.0;
+  for (const double v : o1.impulse) e1 += v * v;
+  for (const double v : o2.impulse) e2 += v * v;
+  EXPECT_NEAR(e1, e2, 1e-6);
+}
+
+TEST(Property, CsdQuantizationErrorDecreasesWithWidth) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double t = 0.97 * (2.0 * rng.uniform() - 1.0);
+    double prev = 1e9;
+    for (const int width : {8, 10, 12, 14, 16}) {
+      const auto c = csd::quantize(t, {width, 0});
+      const double err = std::abs(c.quantization_error());
+      EXPECT_LE(err, prev + 1e-15) << "t=" << t << " w=" << width;
+      prev = err;
+    }
+  }
+}
+
+TEST(Property, Lfsr1SpectrumEnergyEqualsVariance) {
+  // Parseval over the analytic PSD: mean PSD level == signal variance.
+  const auto psd = analysis::lfsr1_power_spectrum(12, 4097);
+  // Two-sided average: interior bins represent both +f and -f.
+  double acc = 0.0;
+  for (std::size_t k = 1; k + 1 < psd.size(); ++k) acc += 2.0 * psd[k];
+  acc += psd.front() + psd.back();
+  const double mean_psd = acc / (2.0 * double(psd.size() - 1));
+  EXPECT_NEAR(mean_psd, 1.0 / 3.0, 0.01);
+}
+
+TEST(Property, LfsrSeedIndependenceOfPeriodStatistics) {
+  // Variance/mean of the maximal-length word sequence do not depend on
+  // the seed (same cycle, different phase).
+  for (const std::uint32_t seed : {1u, 77u, 2048u, 4001u}) {
+    tpg::Lfsr1 l(12, seed);
+    const auto x = l.generate_real(4095);
+    EXPECT_NEAR(dsp::variance(x), 1.0 / 3.0, 0.01) << seed;
+    EXPECT_NEAR(dsp::mean(x), 0.0, 0.01) << seed;
+  }
+}
+
+TEST(Property, ScalingWidthMonotoneInBound) {
+  double prev = 0.0;
+  for (double b = 0.01; b < 4.0; b *= 1.37) {
+    const int w = rtl::width_for_bound(b, 15);
+    EXPECT_GE(w, prev);
+    prev = w;
+  }
+}
+
+TEST(Property, GraphAddCommutes) {
+  // a + b == b + a through the whole RTL/simulation stack.
+  rtl::Graph g;
+  const auto a = g.input(fx::Format{8, 4});
+  const auto b = g.input(fx::Format{6, 4});
+  const auto s1 = g.add(a, b, fx::Format{9, 4});
+  const auto s2 = g.add(b, a, fx::Format{9, 4});
+  rtl::Simulator sim(g);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t ins[] = {
+        static_cast<std::int64_t>(rng.below(256)) - 128,
+        static_cast<std::int64_t>(rng.below(64)) - 32};
+    sim.step(std::span<const std::int64_t>{ins});
+    EXPECT_EQ(sim.raw(s1), sim.raw(s2));
+  }
+}
+
+} // namespace
+} // namespace fdbist

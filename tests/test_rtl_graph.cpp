@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "rtl/graph.hpp"
+
+namespace fdbist::rtl {
+namespace {
+
+TEST(Graph, BuildsBasicNodes) {
+  Graph g;
+  const NodeId x = g.input(fx::Format::unit(12), "x");
+  const NodeId r = g.reg(x, "r");
+  const NodeId s = g.scale(x, 3);
+  const NodeId a = g.add(r, s, fx::Format{16, 14}, "a");
+  const NodeId y = g.output(a, "y");
+
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.node(x).kind, OpKind::Input);
+  EXPECT_EQ(g.node(r).fmt, g.node(x).fmt);
+  EXPECT_EQ(g.node(s).fmt.frac, 11 + 3);
+  EXPECT_EQ(g.node(s).fmt.width, 12);
+  EXPECT_EQ(g.node(a).kind, OpKind::Add);
+  EXPECT_EQ(g.node(y).fmt, g.node(a).fmt);
+  EXPECT_EQ(g.inputs().size(), 1u);
+  EXPECT_EQ(g.outputs().size(), 1u);
+  EXPECT_EQ(g.register_count(), 1u);
+  EXPECT_EQ(g.adder_count(), 1u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Graph, AdderFracRuleEnforced) {
+  Graph g;
+  const NodeId x = g.input(fx::Format::unit(12));
+  const NodeId s = g.scale(x, 4); // frac 15
+  // Output frac must equal max(11, 15) = 15.
+  EXPECT_THROW(g.add(x, s, fx::Format{18, 11}), precondition_error);
+  EXPECT_THROW(g.add(x, s, fx::Format{18, 16}), precondition_error);
+  EXPECT_NO_THROW(g.add(x, s, fx::Format{18, 15}));
+}
+
+TEST(Graph, OperandsMustExist) {
+  Graph g;
+  EXPECT_THROW(g.reg(0), precondition_error); // no nodes yet
+  const NodeId x = g.input(fx::Format::unit(8));
+  EXPECT_THROW(g.add(x, 5, fx::Format{9, 7}), precondition_error);
+}
+
+TEST(Graph, ConstMustFitFormat) {
+  Graph g;
+  EXPECT_THROW(g.constant(200, fx::Format{8, 0}), precondition_error);
+  EXPECT_NO_THROW(g.constant(127, fx::Format{8, 0}));
+  EXPECT_NO_THROW(g.constant(-128, fx::Format{8, 0}));
+}
+
+TEST(Graph, SubCountsAsAdder) {
+  Graph g;
+  const NodeId x = g.input(fx::Format::unit(8));
+  g.sub(x, x, fx::Format{9, 7});
+  g.add(x, x, fx::Format{9, 7});
+  EXPECT_EQ(g.adder_count(), 2u);
+  EXPECT_EQ(g.adders().size(), 2u);
+  EXPECT_EQ(g.node(g.adders()[0]).kind, OpKind::Sub);
+}
+
+TEST(Graph, FindByName) {
+  Graph g;
+  const NodeId x = g.input(fx::Format::unit(8), "x");
+  const NodeId r = g.reg(x, "tap3.z");
+  EXPECT_EQ(g.find("tap3.z"), r);
+  EXPECT_EQ(g.find("missing"), kNoNode);
+}
+
+TEST(Graph, ScaleNegativeShiftUps) {
+  Graph g;
+  const NodeId x = g.input(fx::Format::unit(8));
+  const NodeId s = g.scale(x, -2);
+  EXPECT_EQ(g.node(s).fmt.frac, 7 - 2);
+}
+
+TEST(Graph, NodeIdRangeChecked) {
+  Graph g;
+  g.input(fx::Format::unit(8));
+  EXPECT_THROW(g.node(5), precondition_error);
+  EXPECT_THROW(g.node(-1), precondition_error);
+}
+
+TEST(Graph, OpNames) {
+  EXPECT_STREQ(op_name(OpKind::Add), "add");
+  EXPECT_STREQ(op_name(OpKind::Reg), "reg");
+  EXPECT_STREQ(op_name(OpKind::Scale), "scale");
+}
+
+} // namespace
+} // namespace fdbist::rtl

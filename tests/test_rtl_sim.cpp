@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "rtl/graph.hpp"
+#include "rtl/sim.hpp"
+
+namespace fdbist::rtl {
+namespace {
+
+TEST(Sim, AddComputesAlignedSum) {
+  Graph g;
+  const NodeId x = g.input(fx::Format{8, 4});
+  const NodeId y = g.input(fx::Format{8, 4});
+  const NodeId s = g.add(x, y, fx::Format{9, 4});
+  Simulator sim(g);
+  const std::int64_t ins[] = {37, -21};
+  sim.step(std::span<const std::int64_t>{ins});
+  EXPECT_EQ(sim.raw(s), 16);
+}
+
+TEST(Sim, SubComputesDifference) {
+  Graph g;
+  const NodeId x = g.input(fx::Format{8, 4});
+  const NodeId y = g.input(fx::Format{8, 4});
+  const NodeId d = g.sub(x, y, fx::Format{9, 4});
+  Simulator sim(g);
+  const std::int64_t ins[] = {10, 25};
+  sim.step(std::span<const std::int64_t>{ins});
+  EXPECT_EQ(sim.raw(d), -15);
+}
+
+TEST(Sim, AddWrapsWhenTooNarrow) {
+  Graph g;
+  const NodeId x = g.input(fx::Format{4, 0});
+  const NodeId s = g.add(x, x, fx::Format{4, 0}); // same width: can wrap
+  Simulator sim(g);
+  sim.step(std::int64_t{5});
+  EXPECT_EQ(sim.raw(s), -6); // 10 wraps to -6 in 4 bits
+}
+
+TEST(Sim, MixedFracAlignment) {
+  Graph g;
+  const NodeId x = g.input(fx::Format{8, 4});
+  const NodeId sc = g.scale(x, 2); // value/4, frac 6
+  const NodeId s = g.add(x, sc, fx::Format{11, 6});
+  Simulator sim(g);
+  sim.step(std::int64_t{12}); // x = 0.75
+  // 0.75 + 0.1875 = 0.9375 = 60/64.
+  EXPECT_EQ(sim.raw(s), 60);
+  EXPECT_DOUBLE_EQ(sim.real(s), 0.9375);
+}
+
+TEST(Sim, ScaleIsRawPassthrough) {
+  Graph g;
+  const NodeId x = g.input(fx::Format{8, 4});
+  const NodeId sc = g.scale(x, 3);
+  Simulator sim(g);
+  sim.step(std::int64_t{-33});
+  EXPECT_EQ(sim.raw(sc), -33);
+  EXPECT_DOUBLE_EQ(sim.real(sc), -33.0 / 16.0 / 8.0);
+}
+
+TEST(Sim, ResizeTruncatesTowardMinusInfinity) {
+  Graph g;
+  const NodeId x = g.input(fx::Format{10, 6});
+  const NodeId t = g.resize(x, fx::Format{6, 2});
+  Simulator sim(g);
+  sim.step(std::int64_t{0b0010111}); // 23/64
+  EXPECT_EQ(sim.raw(t), 1);          // floor(23/16) = 1
+  sim.step(std::int64_t{-1});        // -1/64
+  EXPECT_EQ(sim.raw(t), -1);         // floor(-1/16) = -1 LSB
+}
+
+TEST(Sim, ResizeSignExtends) {
+  Graph g;
+  const NodeId x = g.input(fx::Format{4, 0});
+  const NodeId t = g.resize(x, fx::Format{8, 0});
+  Simulator sim(g);
+  sim.step(std::int64_t{-5});
+  EXPECT_EQ(sim.raw(t), -5);
+}
+
+TEST(Sim, RegisterDelaysOneCycle) {
+  Graph g;
+  const NodeId x = g.input(fx::Format{8, 0});
+  const NodeId r = g.reg(x);
+  const NodeId r2 = g.reg(r);
+  Simulator sim(g);
+  sim.step(std::int64_t{11});
+  EXPECT_EQ(sim.raw(r), 0); // reset state
+  EXPECT_EQ(sim.raw(r2), 0);
+  sim.step(std::int64_t{22});
+  EXPECT_EQ(sim.raw(r), 11);
+  EXPECT_EQ(sim.raw(r2), 0);
+  sim.step(std::int64_t{33});
+  EXPECT_EQ(sim.raw(r), 22);
+  EXPECT_EQ(sim.raw(r2), 11);
+}
+
+TEST(Sim, ResetClearsRegisters) {
+  Graph g;
+  const NodeId x = g.input(fx::Format{8, 0});
+  const NodeId r = g.reg(x);
+  Simulator sim(g);
+  sim.step(std::int64_t{42});
+  sim.step(std::int64_t{0});
+  EXPECT_EQ(sim.raw(r), 42);
+  sim.reset();
+  sim.step(std::int64_t{0});
+  EXPECT_EQ(sim.raw(r), 0);
+}
+
+TEST(Sim, ConstHoldsValue) {
+  Graph g;
+  g.input(fx::Format{4, 0});
+  const NodeId c = g.constant(-3, fx::Format{4, 0});
+  Simulator sim(g);
+  sim.step(std::int64_t{0});
+  EXPECT_EQ(sim.raw(c), -3);
+}
+
+TEST(Sim, RejectsWrongInputCount) {
+  Graph g;
+  g.input(fx::Format{8, 0});
+  g.input(fx::Format{8, 0});
+  Simulator sim(g);
+  EXPECT_THROW(sim.step(std::int64_t{1}), precondition_error);
+}
+
+TEST(Sim, RejectsOutOfRangeInput) {
+  Graph g;
+  g.input(fx::Format{4, 0});
+  Simulator sim(g);
+  EXPECT_THROW(sim.step(std::int64_t{8}), precondition_error);
+  EXPECT_NO_THROW(sim.step(std::int64_t{7}));
+}
+
+TEST(Sim, RunOutputCollectsRawWords) {
+  Graph g;
+  const NodeId x = g.input(fx::Format{8, 0});
+  const NodeId r = g.reg(x);
+  g.output(r);
+  Simulator sim(g);
+  const std::vector<std::int64_t> stim{1, 2, 3};
+  const auto out = sim.run_output(stim);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(out[2], 2);
+}
+
+TEST(Sim, RunProbeReturnsReals) {
+  Graph g;
+  const NodeId x = g.input(fx::Format{8, 4});
+  const NodeId sc = g.scale(x, 1);
+  Simulator sim(g);
+  const std::vector<std::int64_t> stim{16, -16};
+  const auto probe = sim.run_probe(stim, sc);
+  ASSERT_EQ(probe.size(), 2u);
+  EXPECT_DOUBLE_EQ(probe[0], 0.5);
+  EXPECT_DOUBLE_EQ(probe[1], -0.5);
+}
+
+TEST(Sim, TransposedTwoTapFilter) {
+  // y[n] = 0.5 x[n] + 0.25 x[n-1] built transposed-form by hand.
+  Graph g;
+  const NodeId x = g.input(fx::Format::unit(8));
+  const NodeId p0 = g.scale(x, 1); // 0.5 x
+  const NodeId p1 = g.scale(x, 2); // 0.25 x
+  const NodeId z = g.reg(p1);
+  const NodeId acc = g.add(z, p0, fx::Format{11, 9});
+  g.output(acc);
+  Simulator sim(g);
+  // Impulse of amplitude 64/128 = 0.5.
+  const std::vector<std::int64_t> stim{64, 0, 0};
+  const auto y = sim.run_output(stim);
+  const fx::Format out_fmt{11, 9};
+  EXPECT_DOUBLE_EQ(out_fmt.to_real(y[0]), 0.25);  // 0.5*0.5
+  EXPECT_DOUBLE_EQ(out_fmt.to_real(y[1]), 0.125); // 0.25*0.5
+  EXPECT_DOUBLE_EQ(out_fmt.to_real(y[2]), 0.0);
+}
+
+} // namespace
+} // namespace fdbist::rtl
