@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_carry_save.dir/ablation_carry_save.cpp.o"
+  "CMakeFiles/ablation_carry_save.dir/ablation_carry_save.cpp.o.d"
+  "ablation_carry_save"
+  "ablation_carry_save.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_carry_save.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

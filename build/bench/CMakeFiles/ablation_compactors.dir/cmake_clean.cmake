@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compactors.dir/ablation_compactors.cpp.o"
+  "CMakeFiles/ablation_compactors.dir/ablation_compactors.cpp.o.d"
+  "ablation_compactors"
+  "ablation_compactors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compactors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

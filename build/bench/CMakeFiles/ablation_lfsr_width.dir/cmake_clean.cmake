@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lfsr_width.dir/ablation_lfsr_width.cpp.o"
+  "CMakeFiles/ablation_lfsr_width.dir/ablation_lfsr_width.cpp.o.d"
+  "ablation_lfsr_width"
+  "ablation_lfsr_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lfsr_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_misr_aliasing.dir/ablation_misr_aliasing.cpp.o"
+  "CMakeFiles/ablation_misr_aliasing.dir/ablation_misr_aliasing.cpp.o.d"
+  "ablation_misr_aliasing"
+  "ablation_misr_aliasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_misr_aliasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

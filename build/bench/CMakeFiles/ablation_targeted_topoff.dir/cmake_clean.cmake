@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_targeted_topoff.dir/ablation_targeted_topoff.cpp.o"
+  "CMakeFiles/ablation_targeted_topoff.dir/ablation_targeted_topoff.cpp.o.d"
+  "ablation_targeted_topoff"
+  "ablation_targeted_topoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_targeted_topoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_12_coverage_curves.dir/fig10_12_coverage_curves.cpp.o"
+  "CMakeFiles/fig10_12_coverage_curves.dir/fig10_12_coverage_curves.cpp.o.d"
+  "fig10_12_coverage_curves"
+  "fig10_12_coverage_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_12_coverage_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_mixed_coverage.dir/fig13_mixed_coverage.cpp.o"
+  "CMakeFiles/fig13_mixed_coverage.dir/fig13_mixed_coverage.cpp.o.d"
+  "fig13_mixed_coverage"
+  "fig13_mixed_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mixed_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_test_zones.dir/fig1_test_zones.cpp.o"
+  "CMakeFiles/fig1_test_zones.dir/fig1_test_zones.cpp.o.d"
+  "fig1_test_zones"
+  "fig1_test_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_test_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

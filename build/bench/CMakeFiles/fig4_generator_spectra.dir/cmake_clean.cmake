@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_generator_spectra.dir/fig4_generator_spectra.cpp.o"
+  "CMakeFiles/fig4_generator_spectra.dir/fig4_generator_spectra.cpp.o.d"
+  "fig4_generator_spectra"
+  "fig4_generator_spectra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_generator_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

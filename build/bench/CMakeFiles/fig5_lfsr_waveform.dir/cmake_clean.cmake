@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_lfsr_waveform.dir/fig5_lfsr_waveform.cpp.o"
+  "CMakeFiles/fig5_lfsr_waveform.dir/fig5_lfsr_waveform.cpp.o.d"
+  "fig5_lfsr_waveform"
+  "fig5_lfsr_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_lfsr_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fig7_tap_attenuation.dir/fig6_fig7_tap_attenuation.cpp.o"
+  "CMakeFiles/fig6_fig7_tap_attenuation.dir/fig6_fig7_tap_attenuation.cpp.o.d"
+  "fig6_fig7_tap_attenuation"
+  "fig6_fig7_tap_attenuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fig7_tap_attenuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_fig9_distributions.dir/fig8_fig9_distributions.cpp.o"
+  "CMakeFiles/fig8_fig9_distributions.dir/fig8_fig9_distributions.cpp.o.d"
+  "fig8_fig9_distributions"
+  "fig8_fig9_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_fig9_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

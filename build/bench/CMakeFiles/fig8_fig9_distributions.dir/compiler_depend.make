@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_fig9_distributions.
+# This may be replaced when dependencies are built.

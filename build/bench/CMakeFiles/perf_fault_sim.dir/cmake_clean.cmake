@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_fault_sim.dir/perf_fault_sim.cpp.o"
+  "CMakeFiles/perf_fault_sim.dir/perf_fault_sim.cpp.o.d"
+  "perf_fault_sim"
+  "perf_fault_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_fault_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

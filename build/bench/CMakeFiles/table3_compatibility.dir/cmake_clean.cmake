@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_compatibility.dir/table3_compatibility.cpp.o"
+  "CMakeFiles/table3_compatibility.dir/table3_compatibility.cpp.o.d"
+  "table3_compatibility"
+  "table3_compatibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_compatibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_missed_faults.dir/table4_missed_faults.cpp.o"
+  "CMakeFiles/table4_missed_faults.dir/table4_missed_faults.cpp.o.d"
+  "table4_missed_faults"
+  "table4_missed_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_missed_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_mixed_scheme.dir/table6_mixed_scheme.cpp.o"
+  "CMakeFiles/table6_mixed_scheme.dir/table6_mixed_scheme.cpp.o.d"
+  "table6_mixed_scheme"
+  "table6_mixed_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_mixed_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbist_cli.dir/fdbist_cli.cpp.o"
+  "CMakeFiles/fdbist_cli.dir/fdbist_cli.cpp.o.d"
+  "fdbist_cli"
+  "fdbist_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbist_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

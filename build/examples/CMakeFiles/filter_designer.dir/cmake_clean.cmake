@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_designer.dir/filter_designer.cpp.o"
+  "CMakeFiles/filter_designer.dir/filter_designer.cpp.o.d"
+  "filter_designer"
+  "filter_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

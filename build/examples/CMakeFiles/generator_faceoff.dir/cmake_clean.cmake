@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_faceoff.dir/generator_faceoff.cpp.o"
+  "CMakeFiles/generator_faceoff.dir/generator_faceoff.cpp.o.d"
+  "generator_faceoff"
+  "generator_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

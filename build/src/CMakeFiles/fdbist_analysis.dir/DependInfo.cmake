@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/compatibility.cpp" "src/CMakeFiles/fdbist_analysis.dir/analysis/compatibility.cpp.o" "gcc" "src/CMakeFiles/fdbist_analysis.dir/analysis/compatibility.cpp.o.d"
+  "/root/repo/src/analysis/distribution.cpp" "src/CMakeFiles/fdbist_analysis.dir/analysis/distribution.cpp.o" "gcc" "src/CMakeFiles/fdbist_analysis.dir/analysis/distribution.cpp.o.d"
+  "/root/repo/src/analysis/lfsr_model.cpp" "src/CMakeFiles/fdbist_analysis.dir/analysis/lfsr_model.cpp.o" "gcc" "src/CMakeFiles/fdbist_analysis.dir/analysis/lfsr_model.cpp.o.d"
+  "/root/repo/src/analysis/targeted.cpp" "src/CMakeFiles/fdbist_analysis.dir/analysis/targeted.cpp.o" "gcc" "src/CMakeFiles/fdbist_analysis.dir/analysis/targeted.cpp.o.d"
+  "/root/repo/src/analysis/test_length.cpp" "src/CMakeFiles/fdbist_analysis.dir/analysis/test_length.cpp.o" "gcc" "src/CMakeFiles/fdbist_analysis.dir/analysis/test_length.cpp.o.d"
+  "/root/repo/src/analysis/test_zones.cpp" "src/CMakeFiles/fdbist_analysis.dir/analysis/test_zones.cpp.o" "gcc" "src/CMakeFiles/fdbist_analysis.dir/analysis/test_zones.cpp.o.d"
+  "/root/repo/src/analysis/variance.cpp" "src/CMakeFiles/fdbist_analysis.dir/analysis/variance.cpp.o" "gcc" "src/CMakeFiles/fdbist_analysis.dir/analysis/variance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdbist_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_tpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_csd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbist_analysis.dir/analysis/compatibility.cpp.o"
+  "CMakeFiles/fdbist_analysis.dir/analysis/compatibility.cpp.o.d"
+  "CMakeFiles/fdbist_analysis.dir/analysis/distribution.cpp.o"
+  "CMakeFiles/fdbist_analysis.dir/analysis/distribution.cpp.o.d"
+  "CMakeFiles/fdbist_analysis.dir/analysis/lfsr_model.cpp.o"
+  "CMakeFiles/fdbist_analysis.dir/analysis/lfsr_model.cpp.o.d"
+  "CMakeFiles/fdbist_analysis.dir/analysis/targeted.cpp.o"
+  "CMakeFiles/fdbist_analysis.dir/analysis/targeted.cpp.o.d"
+  "CMakeFiles/fdbist_analysis.dir/analysis/test_length.cpp.o"
+  "CMakeFiles/fdbist_analysis.dir/analysis/test_length.cpp.o.d"
+  "CMakeFiles/fdbist_analysis.dir/analysis/test_zones.cpp.o"
+  "CMakeFiles/fdbist_analysis.dir/analysis/test_zones.cpp.o.d"
+  "CMakeFiles/fdbist_analysis.dir/analysis/variance.cpp.o"
+  "CMakeFiles/fdbist_analysis.dir/analysis/variance.cpp.o.d"
+  "libfdbist_analysis.a"
+  "libfdbist_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbist_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

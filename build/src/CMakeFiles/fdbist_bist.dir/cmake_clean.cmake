@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbist_bist.dir/bist/compactors.cpp.o"
+  "CMakeFiles/fdbist_bist.dir/bist/compactors.cpp.o.d"
+  "CMakeFiles/fdbist_bist.dir/bist/diagnosis.cpp.o"
+  "CMakeFiles/fdbist_bist.dir/bist/diagnosis.cpp.o.d"
+  "CMakeFiles/fdbist_bist.dir/bist/kit.cpp.o"
+  "CMakeFiles/fdbist_bist.dir/bist/kit.cpp.o.d"
+  "CMakeFiles/fdbist_bist.dir/bist/misr.cpp.o"
+  "CMakeFiles/fdbist_bist.dir/bist/misr.cpp.o.d"
+  "libfdbist_bist.a"
+  "libfdbist_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbist_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

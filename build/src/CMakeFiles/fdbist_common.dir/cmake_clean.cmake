@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbist_common.dir/common/common.cpp.o"
+  "CMakeFiles/fdbist_common.dir/common/common.cpp.o.d"
+  "libfdbist_common.a"
+  "libfdbist_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbist_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbist_csd.dir/csd/csd.cpp.o"
+  "CMakeFiles/fdbist_csd.dir/csd/csd.cpp.o.d"
+  "libfdbist_csd.a"
+  "libfdbist_csd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbist_csd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbist_designs.dir/designs/reference.cpp.o"
+  "CMakeFiles/fdbist_designs.dir/designs/reference.cpp.o.d"
+  "libfdbist_designs.a"
+  "libfdbist_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbist_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/convolution.cpp" "src/CMakeFiles/fdbist_dsp.dir/dsp/convolution.cpp.o" "gcc" "src/CMakeFiles/fdbist_dsp.dir/dsp/convolution.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/fdbist_dsp.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/fdbist_dsp.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir_design.cpp" "src/CMakeFiles/fdbist_dsp.dir/dsp/fir_design.cpp.o" "gcc" "src/CMakeFiles/fdbist_dsp.dir/dsp/fir_design.cpp.o.d"
+  "/root/repo/src/dsp/linalg.cpp" "src/CMakeFiles/fdbist_dsp.dir/dsp/linalg.cpp.o" "gcc" "src/CMakeFiles/fdbist_dsp.dir/dsp/linalg.cpp.o.d"
+  "/root/repo/src/dsp/remez.cpp" "src/CMakeFiles/fdbist_dsp.dir/dsp/remez.cpp.o" "gcc" "src/CMakeFiles/fdbist_dsp.dir/dsp/remez.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/CMakeFiles/fdbist_dsp.dir/dsp/spectrum.cpp.o" "gcc" "src/CMakeFiles/fdbist_dsp.dir/dsp/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/stats.cpp" "src/CMakeFiles/fdbist_dsp.dir/dsp/stats.cpp.o" "gcc" "src/CMakeFiles/fdbist_dsp.dir/dsp/stats.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/CMakeFiles/fdbist_dsp.dir/dsp/window.cpp.o" "gcc" "src/CMakeFiles/fdbist_dsp.dir/dsp/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdbist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

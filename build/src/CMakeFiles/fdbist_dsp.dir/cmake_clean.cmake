@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbist_dsp.dir/dsp/convolution.cpp.o"
+  "CMakeFiles/fdbist_dsp.dir/dsp/convolution.cpp.o.d"
+  "CMakeFiles/fdbist_dsp.dir/dsp/fft.cpp.o"
+  "CMakeFiles/fdbist_dsp.dir/dsp/fft.cpp.o.d"
+  "CMakeFiles/fdbist_dsp.dir/dsp/fir_design.cpp.o"
+  "CMakeFiles/fdbist_dsp.dir/dsp/fir_design.cpp.o.d"
+  "CMakeFiles/fdbist_dsp.dir/dsp/linalg.cpp.o"
+  "CMakeFiles/fdbist_dsp.dir/dsp/linalg.cpp.o.d"
+  "CMakeFiles/fdbist_dsp.dir/dsp/remez.cpp.o"
+  "CMakeFiles/fdbist_dsp.dir/dsp/remez.cpp.o.d"
+  "CMakeFiles/fdbist_dsp.dir/dsp/spectrum.cpp.o"
+  "CMakeFiles/fdbist_dsp.dir/dsp/spectrum.cpp.o.d"
+  "CMakeFiles/fdbist_dsp.dir/dsp/stats.cpp.o"
+  "CMakeFiles/fdbist_dsp.dir/dsp/stats.cpp.o.d"
+  "CMakeFiles/fdbist_dsp.dir/dsp/window.cpp.o"
+  "CMakeFiles/fdbist_dsp.dir/dsp/window.cpp.o.d"
+  "libfdbist_dsp.a"
+  "libfdbist_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbist_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

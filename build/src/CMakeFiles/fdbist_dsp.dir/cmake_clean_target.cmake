@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfdbist_dsp.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbist_fault.dir/fault/fault.cpp.o"
+  "CMakeFiles/fdbist_fault.dir/fault/fault.cpp.o.d"
+  "CMakeFiles/fdbist_fault.dir/fault/serial.cpp.o"
+  "CMakeFiles/fdbist_fault.dir/fault/serial.cpp.o.d"
+  "CMakeFiles/fdbist_fault.dir/fault/simulator.cpp.o"
+  "CMakeFiles/fdbist_fault.dir/fault/simulator.cpp.o.d"
+  "libfdbist_fault.a"
+  "libfdbist_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbist_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbist_fixedpoint.dir/fixedpoint/format.cpp.o"
+  "CMakeFiles/fdbist_fixedpoint.dir/fixedpoint/format.cpp.o.d"
+  "libfdbist_fixedpoint.a"
+  "libfdbist_fixedpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbist_fixedpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fdbist_fixedpoint.
+# This may be replaced when dependencies are built.

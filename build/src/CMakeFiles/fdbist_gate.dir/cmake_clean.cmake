@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbist_gate.dir/gate/lower.cpp.o"
+  "CMakeFiles/fdbist_gate.dir/gate/lower.cpp.o.d"
+  "CMakeFiles/fdbist_gate.dir/gate/netlist.cpp.o"
+  "CMakeFiles/fdbist_gate.dir/gate/netlist.cpp.o.d"
+  "CMakeFiles/fdbist_gate.dir/gate/sim.cpp.o"
+  "CMakeFiles/fdbist_gate.dir/gate/sim.cpp.o.d"
+  "CMakeFiles/fdbist_gate.dir/gate/verilog.cpp.o"
+  "CMakeFiles/fdbist_gate.dir/gate/verilog.cpp.o.d"
+  "libfdbist_gate.a"
+  "libfdbist_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbist_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

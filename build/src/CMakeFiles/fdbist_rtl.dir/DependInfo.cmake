@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/dot_export.cpp" "src/CMakeFiles/fdbist_rtl.dir/rtl/dot_export.cpp.o" "gcc" "src/CMakeFiles/fdbist_rtl.dir/rtl/dot_export.cpp.o.d"
+  "/root/repo/src/rtl/fir_builder.cpp" "src/CMakeFiles/fdbist_rtl.dir/rtl/fir_builder.cpp.o" "gcc" "src/CMakeFiles/fdbist_rtl.dir/rtl/fir_builder.cpp.o.d"
+  "/root/repo/src/rtl/graph.cpp" "src/CMakeFiles/fdbist_rtl.dir/rtl/graph.cpp.o" "gcc" "src/CMakeFiles/fdbist_rtl.dir/rtl/graph.cpp.o.d"
+  "/root/repo/src/rtl/linear_model.cpp" "src/CMakeFiles/fdbist_rtl.dir/rtl/linear_model.cpp.o" "gcc" "src/CMakeFiles/fdbist_rtl.dir/rtl/linear_model.cpp.o.d"
+  "/root/repo/src/rtl/scaling.cpp" "src/CMakeFiles/fdbist_rtl.dir/rtl/scaling.cpp.o" "gcc" "src/CMakeFiles/fdbist_rtl.dir/rtl/scaling.cpp.o.d"
+  "/root/repo/src/rtl/sim.cpp" "src/CMakeFiles/fdbist_rtl.dir/rtl/sim.cpp.o" "gcc" "src/CMakeFiles/fdbist_rtl.dir/rtl/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdbist_csd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbist_rtl.dir/rtl/dot_export.cpp.o"
+  "CMakeFiles/fdbist_rtl.dir/rtl/dot_export.cpp.o.d"
+  "CMakeFiles/fdbist_rtl.dir/rtl/fir_builder.cpp.o"
+  "CMakeFiles/fdbist_rtl.dir/rtl/fir_builder.cpp.o.d"
+  "CMakeFiles/fdbist_rtl.dir/rtl/graph.cpp.o"
+  "CMakeFiles/fdbist_rtl.dir/rtl/graph.cpp.o.d"
+  "CMakeFiles/fdbist_rtl.dir/rtl/linear_model.cpp.o"
+  "CMakeFiles/fdbist_rtl.dir/rtl/linear_model.cpp.o.d"
+  "CMakeFiles/fdbist_rtl.dir/rtl/scaling.cpp.o"
+  "CMakeFiles/fdbist_rtl.dir/rtl/scaling.cpp.o.d"
+  "CMakeFiles/fdbist_rtl.dir/rtl/sim.cpp.o"
+  "CMakeFiles/fdbist_rtl.dir/rtl/sim.cpp.o.d"
+  "libfdbist_rtl.a"
+  "libfdbist_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbist_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

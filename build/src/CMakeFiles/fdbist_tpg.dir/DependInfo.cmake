@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpg/generators.cpp" "src/CMakeFiles/fdbist_tpg.dir/tpg/generators.cpp.o" "gcc" "src/CMakeFiles/fdbist_tpg.dir/tpg/generators.cpp.o.d"
+  "/root/repo/src/tpg/lfsr.cpp" "src/CMakeFiles/fdbist_tpg.dir/tpg/lfsr.cpp.o" "gcc" "src/CMakeFiles/fdbist_tpg.dir/tpg/lfsr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdbist_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

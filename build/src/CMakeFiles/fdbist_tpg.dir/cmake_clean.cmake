@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdbist_tpg.dir/tpg/generators.cpp.o"
+  "CMakeFiles/fdbist_tpg.dir/tpg/generators.cpp.o.d"
+  "CMakeFiles/fdbist_tpg.dir/tpg/lfsr.cpp.o"
+  "CMakeFiles/fdbist_tpg.dir/tpg/lfsr.cpp.o.d"
+  "libfdbist_tpg.a"
+  "libfdbist_tpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdbist_tpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_compactors.cpp" "tests/CMakeFiles/test_compactors.dir/test_compactors.cpp.o" "gcc" "tests/CMakeFiles/test_compactors.dir/test_compactors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fdbist_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_bist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_csd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_tpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fdbist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compactors.dir/test_compactors.cpp.o"
+  "CMakeFiles/test_compactors.dir/test_compactors.cpp.o.d"
+  "test_compactors"
+  "test_compactors.pdb"
+  "test_compactors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compactors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

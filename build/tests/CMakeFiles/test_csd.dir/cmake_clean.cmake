@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csd.dir/test_csd.cpp.o"
+  "CMakeFiles/test_csd.dir/test_csd.cpp.o.d"
+  "test_csd"
+  "test_csd.pdb"
+  "test_csd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

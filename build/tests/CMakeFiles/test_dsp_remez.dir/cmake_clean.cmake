@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_remez.dir/test_dsp_remez.cpp.o"
+  "CMakeFiles/test_dsp_remez.dir/test_dsp_remez.cpp.o.d"
+  "test_dsp_remez"
+  "test_dsp_remez.pdb"
+  "test_dsp_remez[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_remez.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_serial.dir/test_fault_serial.cpp.o"
+  "CMakeFiles/test_fault_serial.dir/test_fault_serial.cpp.o.d"
+  "test_fault_serial"
+  "test_fault_serial.pdb"
+  "test_fault_serial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

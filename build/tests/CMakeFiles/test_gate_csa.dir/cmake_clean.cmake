@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_csa.dir/test_gate_csa.cpp.o"
+  "CMakeFiles/test_gate_csa.dir/test_gate_csa.cpp.o.d"
+  "test_gate_csa"
+  "test_gate_csa.pdb"
+  "test_gate_csa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_csa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_builder.dir/test_rtl_builder.cpp.o"
+  "CMakeFiles/test_rtl_builder.dir/test_rtl_builder.cpp.o.d"
+  "test_rtl_builder"
+  "test_rtl_builder.pdb"
+  "test_rtl_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

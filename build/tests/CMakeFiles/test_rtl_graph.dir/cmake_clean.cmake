@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_graph.dir/test_rtl_graph.cpp.o"
+  "CMakeFiles/test_rtl_graph.dir/test_rtl_graph.cpp.o.d"
+  "test_rtl_graph"
+  "test_rtl_graph.pdb"
+  "test_rtl_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

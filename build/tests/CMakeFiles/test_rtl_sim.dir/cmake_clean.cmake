@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_sim.dir/test_rtl_sim.cpp.o"
+  "CMakeFiles/test_rtl_sim.dir/test_rtl_sim.cpp.o.d"
+  "test_rtl_sim"
+  "test_rtl_sim.pdb"
+  "test_rtl_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

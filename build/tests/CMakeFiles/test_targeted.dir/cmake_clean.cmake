@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_targeted.dir/test_targeted.cpp.o"
+  "CMakeFiles/test_targeted.dir/test_targeted.cpp.o.d"
+  "test_targeted"
+  "test_targeted.pdb"
+  "test_targeted[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_targeted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_test_length.dir/test_test_length.cpp.o"
+  "CMakeFiles/test_test_length.dir/test_test_length.cpp.o.d"
+  "test_test_length"
+  "test_test_length.pdb"
+  "test_test_length[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_test_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

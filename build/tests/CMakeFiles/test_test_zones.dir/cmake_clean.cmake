@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_test_zones.dir/test_test_zones.cpp.o"
+  "CMakeFiles/test_test_zones.dir/test_test_zones.cpp.o.d"
+  "test_test_zones"
+  "test_test_zones.pdb"
+  "test_test_zones[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_test_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_fixedpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_window[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_fir[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_csd[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl_builder[1]_include.cmake")
+include("/root/repo/build/tests/test_gate[1]_include.cmake")
+include("/root/repo/build/tests/test_fault[1]_include.cmake")
+include("/root/repo/build/tests/test_tpg[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_distribution[1]_include.cmake")
+include("/root/repo/build/tests/test_test_zones[1]_include.cmake")
+include("/root/repo/build/tests/test_bist[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_targeted[1]_include.cmake")
+include("/root/repo/build/tests/test_lowering_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_serial[1]_include.cmake")
+include("/root/repo/build/tests/test_gate_csa[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp_remez[1]_include.cmake")
+include("/root/repo/build/tests/test_test_length[1]_include.cmake")
+include("/root/repo/build/tests/test_export[1]_include.cmake")
+include("/root/repo/build/tests/test_compactors[1]_include.cmake")
+include("/root/repo/build/tests/test_designs[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
