@@ -40,6 +40,7 @@ int main() {
       auto gen = tpg::make_generator(k, 12);
       const auto stim = gen->generate_raw(vectors);
       fault::FaultSimOptions opt;
+      opt.num_threads = bench::threads();
       const std::string label =
           std::string(v.name) + "/" + tpg::kind_name(k);
       opt.progress = [&](std::size_t a, std::size_t b) {

@@ -21,7 +21,9 @@ int main() {
   const std::size_t vectors = bench::budget(1024);
   auto gen = tpg::make_generator(tpg::GeneratorKind::LfsrD, 12);
   const auto stim = gen->generate_raw(vectors);
-  const auto result = fault::simulate_faults(low.netlist, stim, faults);
+  fault::FaultSimOptions fopt;
+  fopt.num_threads = bench::threads();
+  const auto result = fault::simulate_faults(low.netlist, stim, faults, fopt);
 
   // Sample detected faults for the per-scheme aliasing measurement.
   std::vector<std::size_t> sample;

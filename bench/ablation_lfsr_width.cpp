@@ -25,6 +25,7 @@ int main() {
   for (const int width : {12, 14, 16, 20}) {
     tpg::DecorrelatedLfsr gen(width, 1);
     fault::FaultSimOptions opt;
+    opt.num_threads = bench::threads();
     const std::string label = "w" + std::to_string(width);
     opt.progress = [&](std::size_t a, std::size_t b) {
       bench::progress(label.c_str(), a, b);

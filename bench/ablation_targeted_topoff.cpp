@@ -29,6 +29,7 @@ int main() {
     tpg::SwitchedLfsr mixed(12, half, 1);
     auto stim = mixed.generate_raw(2 * half);
     fault::FaultSimOptions opt;
+    opt.num_threads = bench::threads();
     opt.progress = [&](std::size_t a, std::size_t b) {
       bench::progress(d.name.c_str(), a, b);
     };

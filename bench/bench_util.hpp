@@ -24,6 +24,17 @@ inline std::size_t budget(std::size_t full) {
   return full;
 }
 
+/// Fault-simulation worker threads: FDBIST_THREADS env var overrides;
+/// default 0 = one worker per hardware thread. Results are bit-identical
+/// for any value (see fault/simulator.hpp), so the experiment tables are
+/// unaffected by the choice.
+inline std::size_t threads() {
+  const char* t = std::getenv("FDBIST_THREADS");
+  if (t != nullptr && t[0] != '\0')
+    return static_cast<std::size_t>(std::strtoul(t, nullptr, 10));
+  return 0;
+}
+
 inline void heading(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }

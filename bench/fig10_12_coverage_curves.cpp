@@ -41,6 +41,7 @@ int main() {
     for (const auto k : kKinds) {
       auto gen = tpg::make_generator(k, 12);
       fault::FaultSimOptions opt;
+      opt.num_threads = bench::threads();
       const std::string label = d.name + "/" + gen->name();
       opt.progress = [&](std::size_t a, std::size_t b) {
         bench::progress(label.c_str(), a, b);

@@ -25,6 +25,7 @@ int main() {
 
   auto curve_of = [&](tpg::Generator& gen, const char* label) {
     fault::FaultSimOptions opt;
+    opt.num_threads = bench::threads();
     opt.progress = [&](std::size_t a, std::size_t b) {
       bench::progress(label, a, b);
     };

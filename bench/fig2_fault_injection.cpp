@@ -27,6 +27,7 @@ int main() {
 
   auto lfsr1 = tpg::make_generator(tpg::GeneratorKind::Lfsr1, 12);
   fault::FaultSimOptions popt;
+  popt.num_threads = bench::threads();
   popt.progress = [](std::size_t a, std::size_t b) {
     bench::progress("LFSR-1", a, b);
   };

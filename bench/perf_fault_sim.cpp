@@ -1,9 +1,12 @@
 // Microbenchmarks and ablations of the fault-simulation engine:
 //   - gate-level sweep cost per simulated cycle (64 machines/word),
 //   - full-design fault simulation throughput,
+//   - thread-count sweep: wall-clock speedup of the sharded engine,
 //   - ablation: equivalence collapsing (universe size reduction),
 //   - ablation: difficulty-ordered vs enumeration-ordered batching.
 #include <benchmark/benchmark.h>
+
+#include <thread>
 
 #include "designs/reference.hpp"
 #include "fault/simulator.hpp"
@@ -62,6 +65,37 @@ void BM_FaultSimFullDesign(benchmark::State& state) {
   state.counters["faults"] = static_cast<double>(faults.size());
 }
 BENCHMARK(BM_FaultSimFullDesign)->Arg(256)->Arg(1024);
+
+// Thread-count sweep over the same campaign: wall-clock speedup of the
+// sharded engine vs the single-threaded legacy path. Arg is
+// FaultSimOptions::num_threads (0 = one worker per hardware thread);
+// results are bit-identical across the sweep, only the time moves.
+// UseRealTime because the work happens on internal worker threads the
+// default CPU-time clock of the calling thread would not see.
+void BM_FaultSimThreads(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  auto gen = tpg::make_generator(tpg::GeneratorKind::LfsrD, 12);
+  const auto stim = gen->generate_raw(1024);
+  const auto faults = fault::order_for_simulation(
+      fault::enumerate_adder_faults(bench_lowered()),
+      bench_lowered().netlist, bench_design().graph);
+  fault::FaultSimOptions opt;
+  opt.num_threads = threads;
+  for (auto _ : state) {
+    auto res =
+        fault::simulate_faults(bench_lowered().netlist, stim, faults, opt);
+    benchmark::DoNotOptimize(res.detected);
+  }
+  state.counters["threads"] = static_cast<double>(
+      threads == 0 ? std::thread::hardware_concurrency() : threads);
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+BENCHMARK(BM_FaultSimThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0) // hardware concurrency
+    ->UseRealTime();
 
 void BM_Ablation_NoCollapse(benchmark::State& state) {
   // Without equivalence collapsing the universe inflates; measure the

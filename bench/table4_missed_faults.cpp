@@ -42,6 +42,7 @@ int main() {
     for (std::size_t gi = 0; gi < kKinds.size(); ++gi) {
       auto gen = tpg::make_generator(kKinds[gi], 12);
       fault::FaultSimOptions opt;
+      opt.num_threads = bench::threads();
       const std::string label = d.name + "/" + gen->name();
       opt.progress = [&](std::size_t done, std::size_t total) {
         bench::progress(label.c_str(), done, total);

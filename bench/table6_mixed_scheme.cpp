@@ -28,6 +28,7 @@ int main() {
 
     auto run = [&](tpg::Generator& gen) {
       fault::FaultSimOptions opt;
+      opt.num_threads = bench::threads();
       const std::string label = d.name + "/" + gen.name();
       opt.progress = [&](std::size_t done, std::size_t n) {
         bench::progress(label.c_str(), done, n);

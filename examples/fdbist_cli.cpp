@@ -1,12 +1,15 @@
 // fdbist_cli — command-line driver over the whole library.
 //
-//   fdbist_cli design   <lowpass|highpass|bandpass> <taps> <f1> [f2]
-//   fdbist_cli analyze  <lp|bp|hp>
-//   fdbist_cli faultsim <lp|bp|hp> <generator> <vectors>
-//   fdbist_cli spectra  <generator> [samples]
-//   fdbist_cli export   <lp|bp|hp> <verilog|dot>
+//   fdbist_cli [--threads N] design   <lowpass|highpass|bandpass> <taps> <f1> [f2]
+//   fdbist_cli [--threads N] analyze  <lp|bp|hp>
+//   fdbist_cli [--threads N] faultsim <lp|bp|hp> <generator> <vectors>
+//   fdbist_cli [--threads N] spectra  <generator> [samples]
+//   fdbist_cli [--threads N] export   <lp|bp|hp> <verilog|dot>
 //
 // Generators: lfsr1 lfsr2 lfsrd lfsrm ramp mixed.
+// --threads N shards fault simulation across N workers (0 = one per
+// hardware thread, the default; 1 = single-threaded legacy path).
+// Results are bit-identical for every N.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -26,16 +29,24 @@ namespace {
 
 using namespace fdbist;
 
+/// Fault-simulation worker threads (0 = hardware concurrency), set by
+/// the global --threads flag before command dispatch.
+std::size_t g_threads = 0;
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  fdbist_cli design   <lowpass|highpass|bandpass> <taps> "
-               "<f1> [f2]\n"
-               "  fdbist_cli analyze  <lp|bp|hp>\n"
-               "  fdbist_cli faultsim <lp|bp|hp> <generator> <vectors>\n"
-               "  fdbist_cli spectra  <generator> [samples]\n"
-               "  fdbist_cli export   <lp|bp|hp> <verilog|dot>\n"
-               "generators: lfsr1 lfsr2 lfsrd lfsrm ramp mixed\n");
+               "  fdbist_cli [--threads N] design   "
+               "<lowpass|highpass|bandpass> <taps> <f1> [f2]\n"
+               "  fdbist_cli [--threads N] analyze  <lp|bp|hp>\n"
+               "  fdbist_cli [--threads N] faultsim <lp|bp|hp> <generator> "
+               "<vectors>\n"
+               "  fdbist_cli [--threads N] spectra  <generator> [samples]\n"
+               "  fdbist_cli [--threads N] export   <lp|bp|hp> "
+               "<verilog|dot>\n"
+               "generators: lfsr1 lfsr2 lfsrd lfsrm ramp mixed\n"
+               "--threads N: fault-sim worker threads (0 = one per "
+               "hardware thread; results identical for any N)\n");
   return 2;
 }
 
@@ -117,7 +128,9 @@ int cmd_faultsim(int argc, char** argv) {
   if (!which || !gen || vectors == 0) return usage();
   const auto d = designs::make_reference(*which);
   bist::BistKit kit(d);
-  const auto report = kit.evaluate(*gen, vectors);
+  fault::FaultSimOptions opt;
+  opt.num_threads = g_threads;
+  const auto report = kit.evaluate(*gen, vectors, opt);
   std::printf("%s + %s, %zu vectors: coverage %.3f%% (%zu/%zu), "
               "missed %zu, golden signature %08X\n",
               d.name.c_str(), gen->name().c_str(), vectors,
@@ -165,6 +178,17 @@ int cmd_export(int argc, char** argv) {
 } // namespace
 
 int main(int argc, char** argv) {
+  // Strip the global --threads flag before command dispatch.
+  if (argc >= 2 && std::strcmp(argv[1], "--threads") == 0) {
+    if (argc < 3) return usage();
+    try {
+      g_threads = std::stoul(argv[2]);
+    } catch (const std::exception&) {
+      return usage();
+    }
+    argv += 2;
+    argc -= 2;
+  }
   if (argc < 2) return usage();
   try {
     if (std::strcmp(argv[1], "design") == 0)

@@ -1,0 +1,90 @@
+// Minimal fork-join threading utilities.
+//
+// Two layers: run_workers() spawns a fixed worker group and joins it
+// (worker 0 runs on the calling thread, so a thread count of 1 never
+// touches std::thread), and parallel_for() distributes indices over a
+// worker group one at a time through an atomic cursor, which keeps
+// uneven per-item costs balanced without any static partitioning.
+// Callers that need determinism write results indexed by item (never by
+// completion order) and merge after the join — see fault/simulator.cpp
+// for the canonical use.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fdbist::common {
+
+/// Resolve a user-facing thread-count knob: 0 means "one worker per
+/// hardware thread". hardware_concurrency() may itself report 0 on
+/// exotic platforms; fall back to a single worker there.
+inline std::size_t resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? std::size_t{1} : std::size_t{hw};
+}
+
+/// Run `fn(worker)` for every worker in [0, threads): worker 0 on the
+/// calling thread, the rest on freshly spawned threads, all joined
+/// before returning. The first exception thrown by any worker is
+/// rethrown on the caller after the join (later ones are dropped).
+template <typename Fn>
+void run_workers(std::size_t threads, Fn&& fn) {
+  if (threads <= 1) {
+    fn(std::size_t{0});
+    return;
+  }
+  std::mutex err_mu;
+  std::exception_ptr err;
+  auto guarded = [&](std::size_t worker) {
+    try {
+      fn(worker);
+    } catch (...) {
+      const std::scoped_lock lock(err_mu);
+      if (!err) err = std::current_exception();
+    }
+  };
+  std::vector<std::thread> spawned;
+  spawned.reserve(threads - 1);
+  for (std::size_t w = 1; w < threads; ++w) spawned.emplace_back(guarded, w);
+  guarded(0);
+  for (std::thread& t : spawned) t.join();
+  if (err) std::rethrow_exception(err);
+}
+
+/// Invoke `body(worker, index)` for every index in [0, count) across at
+/// most `threads` workers (pass the result of resolve_threads(); a
+/// value of 0 is treated as 1). Indices are claimed dynamically, so
+/// execution order across items is unspecified — but each index runs
+/// exactly once, and the call blocks until all are done. Exceptions
+/// propagate as in run_workers; workers stop claiming new indices once
+/// one has failed.
+template <typename Body>
+void parallel_for(std::size_t count, std::size_t threads, Body&& body) {
+  const std::size_t workers =
+      std::min(threads == 0 ? std::size_t{1} : threads, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(std::size_t{0}, i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  run_workers(workers, [&](std::size_t worker) {
+    try {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < count && !failed.load(std::memory_order_relaxed);
+           i = next.fetch_add(1, std::memory_order_relaxed))
+        body(worker, i);
+    } catch (...) {
+      failed.store(true, std::memory_order_relaxed);
+      throw;
+    }
+  });
+}
+
+} // namespace fdbist::common

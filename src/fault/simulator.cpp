@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <mutex>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace fdbist::fault {
 
@@ -26,6 +28,51 @@ std::vector<double> FaultSimResult::coverage_at(
   return out;
 }
 
+namespace {
+
+constexpr std::size_t kLanes = 63; // lane 0 is the good machine
+
+// One 63-fault batch from reset through the first `budget` vectors.
+// Writes first-detection cycles for the batch's own faults (disjoint
+// detect_cycle entries across batches) and appends the indices still
+// undetected to `survivors` in fault order. Because every batch restarts
+// from reset with the same stimulus prefix, detection cycles are exact
+// regardless of how faults are staged into batches.
+void run_batch(gate::WordSim& sim, std::span<const Fault> faults,
+               std::span<const std::int64_t> stimulus,
+               std::span<const std::size_t> batch, std::size_t budget,
+               std::vector<std::int32_t>& detect_cycle,
+               std::vector<std::size_t>& survivors) {
+  sim.reset();
+  sim.clear_faults();
+  std::uint64_t live = 0;
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const Fault& f = faults[batch[k]];
+    const std::uint64_t mask = std::uint64_t{1} << (k + 1);
+    sim.add_fault(f.gate, f.site, f.stuck, mask);
+    live |= mask;
+  }
+
+  std::uint64_t detected = 0;
+  for (std::size_t t = 0; t < budget; ++t) {
+    sim.step_broadcast(stimulus[t]);
+    std::uint64_t newly = sim.output_mismatch() & live & ~detected;
+    if (newly == 0) continue;
+    detected |= newly;
+    while (newly != 0) {
+      const int lane = std::countr_zero(newly);
+      newly &= newly - 1;
+      detect_cycle[batch[std::size_t(lane) - 1]] =
+          static_cast<std::int32_t>(t);
+    }
+    if (detected == live) break;
+  }
+  for (std::size_t k = 0; k < batch.size(); ++k)
+    if (!((detected >> (k + 1)) & 1u)) survivors.push_back(batch[k]);
+}
+
+} // namespace
+
 FaultSimResult simulate_faults(const gate::Netlist& nl,
                                std::span<const std::int64_t> stimulus,
                                std::span<const Fault> faults,
@@ -40,48 +87,54 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
   result.vectors = stimulus.size();
   result.detect_cycle.assign(faults.size(), -1);
 
-  gate::WordSim sim(nl);
-  constexpr std::size_t kLanes = 63; // lane 0 is the good machine
+  const std::size_t threads = common::resolve_threads(opt.num_threads);
 
-  // One batched pass over `indices` with the first `budget` vectors;
-  // returns the indices still undetected. Because every pass restarts
-  // from reset with the same stimulus prefix, detection cycles are exact
-  // regardless of staging.
+  // Progress counts *finalized* faults — detected, or survived the full
+  // stimulus — so the reported sequence climbs monotonically to the
+  // total exactly once even though the engine takes two passes. The
+  // mutex both serializes the user callback and orders the cumulative
+  // counter, so workers finishing batches out of order still deliver a
+  // strictly increasing sequence.
+  std::mutex progress_mu;
+  std::size_t progress_done = 0;
+  auto report_finalized = [&](std::size_t finalized) {
+    if (!opt.progress || finalized == 0) return;
+    const std::scoped_lock lock(progress_mu);
+    progress_done += finalized;
+    opt.progress(progress_done, faults.size());
+  };
+
+  // One pass over `indices` with the first `budget` vectors: the
+  // 63-fault batches are sharded dynamically across workers, each
+  // owning a private WordSim and writing disjoint detect_cycle entries.
+  // Per-batch survivor lists are concatenated in batch order afterwards,
+  // which makes the returned order — and therefore the batch composition
+  // of the next pass — identical to the sequential engine's for any
+  // thread count.
   auto run_pass = [&](const std::vector<std::size_t>& indices,
-                      std::size_t budget, std::size_t progress_base) {
-    std::vector<std::size_t> survivors;
-    for (std::size_t base = 0; base < indices.size(); base += kLanes) {
-      const std::size_t count = std::min(kLanes, indices.size() - base);
-      sim.reset();
-      sim.clear_faults();
-      std::uint64_t live = 0;
-      for (std::size_t k = 0; k < count; ++k) {
-        const Fault& f = faults[indices[base + k]];
-        const std::uint64_t mask = std::uint64_t{1} << (k + 1);
-        sim.add_fault(f.gate, f.site, f.stuck, mask);
-        live |= mask;
-      }
+                      std::size_t budget, bool final_pass) {
+    const std::size_t num_batches = (indices.size() + kLanes - 1) / kLanes;
+    const std::size_t workers =
+        std::max<std::size_t>(1, std::min(threads, num_batches));
+    std::vector<gate::WordSim> sims;
+    sims.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) sims.emplace_back(nl);
 
-      std::uint64_t detected = 0;
-      for (std::size_t t = 0; t < budget; ++t) {
-        sim.step_broadcast(stimulus[t]);
-        std::uint64_t newly = sim.output_mismatch() & live & ~detected;
-        if (newly == 0) continue;
-        detected |= newly;
-        while (newly != 0) {
-          const int lane = std::countr_zero(newly);
-          newly &= newly - 1;
-          result.detect_cycle[indices[base + (std::size_t(lane) - 1)]] =
-              static_cast<std::int32_t>(t);
-        }
-        if (detected == live) break;
-      }
-      for (std::size_t k = 0; k < count; ++k)
-        if (!((detected >> (k + 1)) & 1u))
-          survivors.push_back(indices[base + k]);
-      if (opt.progress)
-        opt.progress(progress_base + base + count, faults.size());
-    }
+    std::vector<std::vector<std::size_t>> batch_survivors(num_batches);
+    common::parallel_for(
+        num_batches, workers, [&](std::size_t worker, std::size_t b) {
+          const std::size_t base = b * kLanes;
+          const std::size_t count = std::min(kLanes, indices.size() - base);
+          std::vector<std::size_t>& survivors = batch_survivors[b];
+          run_batch(sims[worker], faults, stimulus,
+                    {indices.data() + base, count}, budget,
+                    result.detect_cycle, survivors);
+          report_finalized(final_pass ? count : count - survivors.size());
+        });
+
+    std::vector<std::size_t> survivors;
+    for (const auto& bs : batch_survivors)
+      survivors.insert(survivors.end(), bs.begin(), bs.end());
     return survivors;
   };
 
@@ -91,10 +144,10 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
   std::vector<std::size_t> all(faults.size());
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
   const std::size_t stage1 = std::min<std::size_t>(128, stimulus.size());
-  auto survivors = run_pass(all, stage1, 0);
-  if (stage1 < stimulus.size() && !survivors.empty())
-    survivors = run_pass(survivors, stimulus.size(),
-                         faults.size() - survivors.size());
+  const bool stage1_is_final = stage1 == stimulus.size();
+  auto survivors = run_pass(all, stage1, stage1_is_final);
+  if (!stage1_is_final && !survivors.empty())
+    survivors = run_pass(survivors, stimulus.size(), /*final_pass=*/true);
 
   result.detected = faults.size() - survivors.size();
   return result;

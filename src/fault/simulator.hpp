@@ -19,8 +19,18 @@
 namespace fdbist::fault {
 
 struct FaultSimOptions {
-  /// Called after each finished batch with (faults done, total): progress
-  /// reporting for long bench runs. May be empty.
+  /// Worker threads the 63-fault batches are sharded across: 0 = one
+  /// worker per hardware thread, 1 = the single-threaded legacy path
+  /// (no threads are spawned). The result is bit-identical for every
+  /// value — each shard owns private gate-sim state and writes disjoint
+  /// detect_cycle entries, and survivors are merged in batch order.
+  std::size_t num_threads = 0;
+
+  /// Called with (faults finalized so far, total) after each finished
+  /// batch; a fault is finalized once detected or once it has survived
+  /// the full stimulus. Calls are serialized under an internal mutex,
+  /// so even with many workers the callback observes a strictly
+  /// increasing sequence ending at (total, total). May be empty.
   std::function<void(std::size_t, std::size_t)> progress;
 };
 
@@ -47,7 +57,8 @@ struct FaultSimResult {
 
 /// Simulate every fault against the stimulus (raw input words for the
 /// design's single primary input). Returns per-fault first-detection
-/// cycles. Deterministic; batches of 63 faults in the given order.
+/// cycles. Deterministic for any FaultSimOptions::num_threads; batches
+/// of 63 faults in the given order.
 FaultSimResult simulate_faults(const gate::Netlist& nl,
                                std::span<const std::int64_t> stimulus,
                                std::span<const Fault> faults,

@@ -1,0 +1,112 @@
+// Determinism of the multithreaded fault-simulation engine: any
+// num_threads must produce bit-identical results to the sequential
+// path, and the serialized progress callback must report a complete,
+// strictly increasing sequence regardless of worker interleaving.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/simulator.hpp"
+#include "gate/lower.hpp"
+#include "rtl/fir_builder.hpp"
+#include "tpg/generators.hpp"
+
+namespace fdbist::fault {
+namespace {
+
+struct Fixture {
+  rtl::FilterDesign design;
+  gate::LoweredDesign low;
+  std::vector<Fault> faults;
+  std::vector<std::int64_t> stim;
+};
+
+// A lowered filter small enough for fast tests but with several hundred
+// collapsed faults, so every run spans many 63-fault batches.
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    auto d = rtl::build_fir(
+        {0.27, -0.19, 0.13, 0.094, -0.071, 0.052, -0.038, 0.024}, {},
+        "par8");
+    auto low = gate::lower(d.graph);
+    auto faults = order_for_simulation(enumerate_adder_faults(low),
+                                       low.netlist, d.graph);
+    auto gen = tpg::make_generator(tpg::GeneratorKind::LfsrD, 12);
+    auto stim = gen->generate_raw(256);
+    return Fixture{std::move(d), std::move(low), std::move(faults),
+                   std::move(stim)};
+  }();
+  return f;
+}
+
+FaultSimResult run_with(std::size_t threads) {
+  FaultSimOptions opt;
+  opt.num_threads = threads;
+  return simulate_faults(fixture().low.netlist, fixture().stim,
+                         fixture().faults, opt);
+}
+
+TEST(FaultParallel, FixtureSpansManyBatches) {
+  ASSERT_GT(fixture().faults.size(), std::size_t{4} * 63)
+      << "fixture too small to exercise sharding";
+}
+
+TEST(FaultParallel, ThreadCountsProduceIdenticalResults) {
+  const auto baseline = run_with(1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const auto r = run_with(threads);
+    EXPECT_EQ(r.detected, baseline.detected) << threads << " threads";
+    EXPECT_EQ(r.total_faults, baseline.total_faults);
+    ASSERT_EQ(r.detect_cycle.size(), baseline.detect_cycle.size());
+    for (std::size_t i = 0; i < r.detect_cycle.size(); ++i)
+      ASSERT_EQ(r.detect_cycle[i], baseline.detect_cycle[i])
+          << "fault " << i << " with " << threads << " threads";
+  }
+}
+
+TEST(FaultParallel, HardwareConcurrencyMatchesSequential) {
+  const auto baseline = run_with(1);
+  const auto r = run_with(0); // 0 = one worker per hardware thread
+  EXPECT_EQ(r.detect_cycle, baseline.detect_cycle);
+  EXPECT_EQ(r.detected, baseline.detected);
+}
+
+TEST(FaultParallel, CoverageCurvesIdenticalAcrossThreadCounts) {
+  const std::vector<std::size_t> checkpoints = {0, 32, 64, 128, 256};
+  const auto c1 = run_with(1).coverage_at(checkpoints);
+  const auto c4 = run_with(4).coverage_at(checkpoints);
+  ASSERT_EQ(c1.size(), c4.size());
+  for (std::size_t i = 0; i < c1.size(); ++i)
+    EXPECT_DOUBLE_EQ(c1[i], c4[i]) << "checkpoint " << checkpoints[i];
+}
+
+TEST(FaultParallel, ProgressIsMonotoneAndComplete) {
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    std::vector<std::pair<std::size_t, std::size_t>> reports;
+    FaultSimOptions opt;
+    opt.num_threads = threads;
+    // The engine serializes progress calls under a mutex, so plain
+    // vector appends are safe even with many workers.
+    opt.progress = [&](std::size_t done, std::size_t total) {
+      reports.emplace_back(done, total);
+    };
+    const auto r = simulate_faults(fixture().low.netlist, fixture().stim,
+                                   fixture().faults, opt);
+    ASSERT_FALSE(reports.empty()) << threads << " threads";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      EXPECT_EQ(reports[i].second, r.total_faults);
+      if (i > 0) {
+        EXPECT_GT(reports[i].first, reports[i - 1].first)
+            << "progress must be strictly increasing (" << threads
+            << " threads)";
+      }
+    }
+    EXPECT_EQ(reports.back().first, r.total_faults)
+        << "final progress report must cover every fault (" << threads
+        << " threads)";
+  }
+}
+
+} // namespace
+} // namespace fdbist::fault
