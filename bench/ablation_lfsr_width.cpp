@@ -24,13 +24,8 @@ int main() {
               "coverage%");
   for (const int width : {12, 14, 16, 20}) {
     tpg::DecorrelatedLfsr gen(width, 1);
-    fault::FaultSimOptions opt;
-    opt.num_threads = bench::threads();
-    const std::string label = "w" + std::to_string(width);
-    opt.progress = [&](std::size_t a, std::size_t b) {
-      bench::progress(label.c_str(), a, b);
-    };
-    const auto r = kit.evaluate(gen, vectors, opt);
+    const auto r =
+        bench::evaluate(kit, gen, vectors, "w" + std::to_string(width));
     std::printf("  %-7d %10llu %10zu %10.2f\n", width,
                 (unsigned long long)((1ull << width) - 1), r.missed(),
                 100 * r.coverage());

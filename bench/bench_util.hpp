@@ -7,11 +7,18 @@
 // is the reproduction target (see EXPERIMENTS.md).
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
+#include <sys/stat.h>
 #include <unistd.h>
+
+#include "bist/kit.hpp"
+#include "common/parse.hpp"
+#include "fault/campaign.hpp"
 
 namespace fdbist::bench {
 
@@ -27,12 +34,28 @@ inline std::size_t budget(std::size_t full) {
 /// Fault-simulation worker threads: FDBIST_THREADS env var overrides;
 /// default 0 = one worker per hardware thread. Results are bit-identical
 /// for any value (see fault/simulator.hpp), so the experiment tables are
-/// unaffected by the choice.
+/// unaffected by the choice. A malformed value is a hard usage error
+/// (exit 2), not a silent fallback — the old strtoul path read
+/// "abc" as 0 and quietly changed the worker count.
 inline std::size_t threads() {
   const char* t = std::getenv("FDBIST_THREADS");
-  if (t != nullptr && t[0] != '\0')
-    return static_cast<std::size_t>(std::strtoul(t, nullptr, 10));
-  return 0;
+  if (t == nullptr || t[0] == '\0') return 0;
+  const auto v = common::parse_size(t, "FDBIST_THREADS", 0, 4096);
+  if (!v) {
+    std::fprintf(stderr, "bench: %s\n", v.error().to_string().c_str());
+    std::exit(2);
+  }
+  return *v;
+}
+
+/// Campaign checkpoint directory: when FDBIST_CHECKPOINT_DIR is set,
+/// the heavy sweeps route fault simulation through the campaign layer,
+/// persisting per-(design, generator) checkpoints there so a killed
+/// sweep resumes instead of restarting (results bit-identical either
+/// way). Unset/empty = plain in-memory runs.
+inline const char* checkpoint_dir() {
+  const char* d = std::getenv("FDBIST_CHECKPOINT_DIR");
+  return (d != nullptr && d[0] != '\0') ? d : nullptr;
 }
 
 inline void heading(const std::string& title) {
@@ -52,6 +75,46 @@ inline void progress(const char* label, std::size_t done, std::size_t total) {
   std::fprintf(stderr, "\r  [%s] %3d%%", label, pct);
   if (done >= total) std::fprintf(stderr, "\n");
   std::fflush(stderr);
+}
+
+/// BIST evaluation with campaign resilience: when FDBIST_CHECKPOINT_DIR
+/// is set, verdicts checkpoint to "<dir>/<label>.ckpt" and an
+/// interrupted sweep resumes from there on the next run; otherwise the
+/// plain engine. Campaign errors (unreadable/foreign checkpoint) abort
+/// the bench with the typed error message — a sweep must never print
+/// rows computed from a checkpoint it could not trust.
+inline bist::BistReport evaluate(const bist::BistKit& kit,
+                                 tpg::Generator& gen, std::size_t vectors,
+                                 const std::string& label) {
+  if (const char* dir = checkpoint_dir()) {
+    ::mkdir(dir, 0777); // EEXIST is fine; real failures surface on save
+    std::string file;
+    for (const char c : label)
+      file.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                             c == '.' || c == '_' || c == '-'
+                         ? c
+                         : '_');
+    fault::CampaignOptions opt;
+    opt.num_threads = threads();
+    opt.checkpoint_path = std::string(dir) + "/" + file + ".ckpt";
+    opt.resume = true;
+    opt.progress = [label](std::size_t done, std::size_t total) {
+      progress(label.c_str(), done, total);
+    };
+    auto report = kit.evaluate_campaign(gen, vectors, opt);
+    if (!report) {
+      std::fprintf(stderr, "bench: %s: %s\n", label.c_str(),
+                   report.error().to_string().c_str());
+      std::exit(1);
+    }
+    return std::move(*report);
+  }
+  fault::FaultSimOptions opt;
+  opt.num_threads = threads();
+  opt.progress = [label](std::size_t done, std::size_t total) {
+    progress(label.c_str(), done, total);
+  };
+  return kit.evaluate(gen, vectors, opt);
 }
 
 } // namespace fdbist::bench

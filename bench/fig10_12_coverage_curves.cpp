@@ -40,13 +40,8 @@ int main() {
     std::vector<std::vector<double>> curves;
     for (const auto k : kKinds) {
       auto gen = tpg::make_generator(k, 12);
-      fault::FaultSimOptions opt;
-      opt.num_threads = bench::threads();
-      const std::string label = d.name + "/" + gen->name();
-      opt.progress = [&](std::size_t a, std::size_t b) {
-        bench::progress(label.c_str(), a, b);
-      };
-      const auto report = kit.evaluate(*gen, vectors, opt);
+      const auto report =
+          bench::evaluate(kit, *gen, vectors, d.name + "/" + gen->name());
       curves.push_back(report.fault_result.coverage_at(checkpoints));
     }
 

@@ -24,12 +24,7 @@ int main() {
     checkpoints.push_back(v);
 
   auto curve_of = [&](tpg::Generator& gen, const char* label) {
-    fault::FaultSimOptions opt;
-    opt.num_threads = bench::threads();
-    opt.progress = [&](std::size_t a, std::size_t b) {
-      bench::progress(label, a, b);
-    };
-    const auto report = kit.evaluate(gen, vectors, opt);
+    const auto report = bench::evaluate(kit, gen, vectors, label);
     return report.fault_result.coverage_at(checkpoints);
   };
 

@@ -26,21 +26,13 @@ int main() {
   bench::heading("Figure 2/3: hunting a serious fault missed by the LFSR");
 
   auto lfsr1 = tpg::make_generator(tpg::GeneratorKind::Lfsr1, 12);
-  fault::FaultSimOptions popt;
-  popt.num_threads = bench::threads();
-  popt.progress = [](std::size_t a, std::size_t b) {
-    bench::progress("LFSR-1", a, b);
-  };
-  const auto r1 = kit.evaluate(*lfsr1, vectors, popt);
+  const auto r1 = bench::evaluate(kit, *lfsr1, vectors, "fig2/LFSR-1");
   std::printf("  LFSR-1 coverage: %.2f%% (%zu faults missed) — "
               "paper: 99.1%%\n",
               100 * r1.coverage(), r1.missed());
 
-  popt.progress = [](std::size_t a, std::size_t b) {
-    bench::progress("LFSR-M", a, b);
-  };
   auto lfsrm = tpg::make_generator(tpg::GeneratorKind::LfsrM, 12);
-  const auto rm = kit.evaluate(*lfsrm, vectors, popt);
+  const auto rm = bench::evaluate(kit, *lfsrm, vectors, "fig2/LFSR-M");
 
   // Index detection results by fault for the cross-reference.
   auto detected_by = [&](const fault::FaultSimResult& r,

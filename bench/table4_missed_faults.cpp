@@ -41,13 +41,8 @@ int main() {
     row.adders = d.stats().adders;
     for (std::size_t gi = 0; gi < kKinds.size(); ++gi) {
       auto gen = tpg::make_generator(kKinds[gi], 12);
-      fault::FaultSimOptions opt;
-      opt.num_threads = bench::threads();
-      const std::string label = d.name + "/" + gen->name();
-      opt.progress = [&](std::size_t done, std::size_t total) {
-        bench::progress(label.c_str(), done, total);
-      };
-      const auto report = kit.evaluate(*gen, vectors, opt);
+      const auto report =
+          bench::evaluate(kit, *gen, vectors, d.name + "/" + gen->name());
       row.missed[gi] = report.missed();
       row.coverage[gi] = report.coverage();
     }

@@ -27,13 +27,7 @@ int main() {
     const double adders = double(d.stats().adders);
 
     auto run = [&](tpg::Generator& gen) {
-      fault::FaultSimOptions opt;
-      opt.num_threads = bench::threads();
-      const std::string label = d.name + "/" + gen.name();
-      opt.progress = [&](std::size_t done, std::size_t n) {
-        bench::progress(label.c_str(), done, n);
-      };
-      return kit.evaluate(gen, total, opt);
+      return bench::evaluate(kit, gen, total, d.name + "/" + gen.name());
     };
 
     tpg::SwitchedLfsr mixed(12, half, 1);

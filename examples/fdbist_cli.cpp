@@ -3,6 +3,9 @@
 //   fdbist_cli [--threads N] design   <lowpass|highpass|bandpass> <taps> <f1> [f2]
 //   fdbist_cli [--threads N] analyze  <lp|bp|hp>
 //   fdbist_cli [--threads N] faultsim <lp|bp|hp> <generator> <vectors>
+//   fdbist_cli [--threads N] campaign <lp|bp|hp> <generator> <vectors>
+//                            [--checkpoint FILE] [--checkpoint-every N]
+//                            [--resume] [--deadline-s S]
 //   fdbist_cli [--threads N] spectra  <generator> [samples]
 //   fdbist_cli [--threads N] export   <lp|bp|hp> <verilog|dot>
 //
@@ -10,17 +13,32 @@
 // --threads N shards fault simulation across N workers (0 = one per
 // hardware thread, the default; 1 = single-threaded legacy path).
 // Results are bit-identical for every N.
+//
+// `campaign` is `faultsim` with resilience: it periodically persists
+// per-fault verdicts to --checkpoint, a killed run restarted with
+// --resume continues where it stopped (final results bit-identical to
+// an uninterrupted run), and --deadline-s stops workers gracefully at
+// batch boundaries, reporting coverage-so-far.
+//
+// Exit codes: 0 success, 1 runtime error, 2 bad usage, 3 partial result
+// (campaign stopped by deadline or cancellation before finishing).
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
+
+#include <unistd.h>
 
 #include "analysis/compatibility.hpp"
 #include "analysis/variance.hpp"
 #include "bist/kit.hpp"
+#include "common/parse.hpp"
 #include "designs/reference.hpp"
 #include "dsp/spectrum.hpp"
+#include "fault/campaign.hpp"
 #include "gate/verilog.hpp"
 #include "rtl/dot_export.hpp"
 #include "tpg/generators.hpp"
@@ -33,6 +51,8 @@ using namespace fdbist;
 /// the global --threads flag before command dispatch.
 std::size_t g_threads = 0;
 
+constexpr std::size_t kMaxVectors = std::numeric_limits<std::int32_t>::max();
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -41,13 +61,41 @@ int usage() {
                "  fdbist_cli [--threads N] analyze  <lp|bp|hp>\n"
                "  fdbist_cli [--threads N] faultsim <lp|bp|hp> <generator> "
                "<vectors>\n"
+               "  fdbist_cli [--threads N] campaign <lp|bp|hp> <generator> "
+               "<vectors>\n"
+               "                           [--checkpoint FILE] "
+               "[--checkpoint-every N] [--resume] [--deadline-s S]\n"
                "  fdbist_cli [--threads N] spectra  <generator> [samples]\n"
                "  fdbist_cli [--threads N] export   <lp|bp|hp> "
                "<verilog|dot>\n"
                "generators: lfsr1 lfsr2 lfsrd lfsrm ramp mixed\n"
                "--threads N: fault-sim worker threads (0 = one per "
-               "hardware thread; results identical for any N)\n");
+               "hardware thread; results identical for any N)\n"
+               "exit codes: 0 ok, 1 error, 2 usage, 3 partial campaign\n");
   return 2;
+}
+
+/// Checked numeric argument: on malformed input prints a one-line error
+/// naming the parameter (the caller then prints usage and exits 2).
+std::optional<std::size_t> arg_size(
+    const char* text, const char* what, std::size_t min_value = 0,
+    std::size_t max_value = std::numeric_limits<std::size_t>::max()) {
+  auto v = common::parse_size(text, what, min_value, max_value);
+  if (!v) {
+    std::fprintf(stderr, "fdbist_cli: %s\n", v.error().to_string().c_str());
+    return std::nullopt;
+  }
+  return *v;
+}
+
+std::optional<double> arg_double(const char* text, const char* what,
+                                 double min_value, double max_value) {
+  auto v = common::parse_double(text, what, min_value, max_value);
+  if (!v) {
+    std::fprintf(stderr, "fdbist_cli: %s\n", v.error().to_string().c_str());
+    return std::nullopt;
+  }
+  return *v;
 }
 
 std::optional<designs::ReferenceFilter> parse_design(const char* s) {
@@ -72,8 +120,11 @@ std::unique_ptr<tpg::Generator> parse_generator(const std::string& s,
 int cmd_design(int argc, char** argv) {
   if (argc < 4) return usage();
   dsp::FirSpec spec;
-  spec.taps = static_cast<std::size_t>(std::stoul(argv[2]));
-  spec.f1 = std::stod(argv[3]);
+  const auto taps = arg_size(argv[2], "<taps>", 3, 4096);
+  const auto f1 = arg_double(argv[3], "<f1>", 0.0, 0.5);
+  if (!taps || !f1) return usage();
+  spec.taps = *taps;
+  spec.f1 = *f1;
   spec.kaiser_beta = 6.0;
   if (std::strcmp(argv[1], "lowpass") == 0) {
     spec.kind = dsp::FilterKind::Lowpass;
@@ -82,7 +133,9 @@ int cmd_design(int argc, char** argv) {
   } else if (std::strcmp(argv[1], "bandpass") == 0) {
     if (argc < 5) return usage();
     spec.kind = dsp::FilterKind::Bandpass;
-    spec.f2 = std::stod(argv[4]);
+    const auto f2 = arg_double(argv[4], "<f2>", 0.0, 0.5);
+    if (!f2) return usage();
+    spec.f2 = *f2;
   } else {
     return usage();
   }
@@ -120,30 +173,119 @@ int cmd_analyze(int argc, char** argv) {
   return 0;
 }
 
+/// Shared result line for faultsim and a completed campaign, so the
+/// kill-and-resume smoke test can diff the two outputs directly.
+void print_coverage_line(const std::string& design, const std::string& gen,
+                         std::size_t vectors, const fault::FaultSimResult& r,
+                         std::uint32_t signature) {
+  std::printf("%s + %s, %zu vectors: coverage %.3f%% (%zu/%zu), "
+              "missed %zu, golden signature %08X\n",
+              design.c_str(), gen.c_str(), vectors, 100 * r.coverage(),
+              r.detected, r.total_faults, r.missed(), signature);
+}
+
 int cmd_faultsim(int argc, char** argv) {
   if (argc < 4) return usage();
   const auto which = parse_design(argv[1]);
-  const std::size_t vectors = std::stoul(argv[3]);
-  auto gen = parse_generator(argv[2], vectors);
-  if (!which || !gen || vectors == 0) return usage();
+  const auto vectors = arg_size(argv[3], "<vectors>", 1, kMaxVectors);
+  if (!which || !vectors) return usage();
+  auto gen = parse_generator(argv[2], *vectors);
+  if (!gen) return usage();
   const auto d = designs::make_reference(*which);
   bist::BistKit kit(d);
   fault::FaultSimOptions opt;
   opt.num_threads = g_threads;
-  const auto report = kit.evaluate(*gen, vectors, opt);
-  std::printf("%s + %s, %zu vectors: coverage %.3f%% (%zu/%zu), "
-              "missed %zu, golden signature %08X\n",
-              d.name.c_str(), gen->name().c_str(), vectors,
-              100 * report.coverage(), report.detected,
-              report.total_faults, report.missed(),
-              report.golden_signature);
+  const auto report = kit.evaluate(*gen, *vectors, opt);
+  print_coverage_line(d.name, gen->name(), *vectors, report.fault_result,
+                      report.golden_signature);
+  return 0;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto which = parse_design(argv[1]);
+  const auto vectors = arg_size(argv[3], "<vectors>", 1, kMaxVectors);
+  if (!which || !vectors) return usage();
+  auto gen = parse_generator(argv[2], *vectors);
+  if (!gen) return usage();
+
+  fault::CampaignOptions copt;
+  copt.num_threads = g_threads;
+  copt.checkpoint_every = 1024;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      copt.checkpoint_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+               i + 1 < argc) {
+      const auto every =
+          arg_size(argv[++i], "--checkpoint-every", 1, kMaxVectors);
+      if (!every) return usage();
+      copt.checkpoint_every = *every;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      copt.resume = true;
+    } else if (std::strcmp(argv[i], "--deadline-s") == 0 && i + 1 < argc) {
+      const auto deadline = arg_double(argv[++i], "--deadline-s", 0.0, 1e9);
+      if (!deadline) return usage();
+      copt.deadline_s = *deadline;
+    } else {
+      std::fprintf(stderr, "fdbist_cli: unknown campaign flag \"%s\"\n",
+                   argv[i]);
+      return usage();
+    }
+  }
+  if (copt.resume && copt.checkpoint_path.empty()) {
+    std::fprintf(stderr, "fdbist_cli: --resume requires --checkpoint\n");
+    return usage();
+  }
+
+  const auto d = designs::make_reference(*which);
+  bist::BistKit kit(d);
+  gen->reset();
+  const auto stimulus = gen->generate_raw(*vectors);
+  if (isatty(fileno(stderr)) != 0) {
+    copt.progress = [](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\r  [campaign] %3d%%",
+                   total == 0 ? 100 : int(100 * done / total));
+      if (done >= total) std::fprintf(stderr, "\n");
+      std::fflush(stderr);
+    };
+  }
+
+  auto res = fault::run_campaign(kit.lowered().netlist, stimulus,
+                                 kit.faults(), copt);
+  if (!res) {
+    std::fprintf(stderr, "fdbist_cli: %s\n", res.error().to_string().c_str());
+    return 1;
+  }
+  if (res->resumed_slices > 0)
+    std::fprintf(stderr,
+                 "resumed from %s: %zu slices already finalized, %zu run "
+                 "now\n",
+                 copt.checkpoint_path.c_str(), res->resumed_slices,
+                 res->completed_slices);
+
+  const fault::FaultSimResult& r = res->sim;
+  if (!r.complete) {
+    std::printf("partial (%s): finalized %zu/%zu faults, coverage-so-far "
+                "%.3f%% (%zu detected)\n",
+                error_code_name(*res->stop_reason), r.finalized_count(),
+                r.total_faults, 100 * r.coverage(), r.detected);
+    return 3;
+  }
+  print_coverage_line(d.name, gen->name(), *vectors, r,
+                      kit.golden_signature(stimulus));
   return 0;
 }
 
 int cmd_spectra(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::size_t samples =
-      argc > 2 ? std::stoul(argv[2]) : std::size_t{1} << 14;
+  std::size_t samples = std::size_t{1} << 14;
+  if (argc > 2) {
+    const auto parsed =
+        arg_size(argv[2], "[samples]", 64, std::size_t{1} << 24);
+    if (!parsed) return usage();
+    samples = *parsed;
+  }
   auto gen = parse_generator(argv[1], samples);
   if (!gen) return usage();
   const auto x = gen->generate_real(samples);
@@ -181,11 +323,9 @@ int main(int argc, char** argv) {
   // Strip the global --threads flag before command dispatch.
   if (argc >= 2 && std::strcmp(argv[1], "--threads") == 0) {
     if (argc < 3) return usage();
-    try {
-      g_threads = std::stoul(argv[2]);
-    } catch (const std::exception&) {
-      return usage();
-    }
+    const auto threads = arg_size(argv[2], "--threads", 0, 4096);
+    if (!threads) return usage();
+    g_threads = *threads;
     argv += 2;
     argc -= 2;
   }
@@ -197,6 +337,8 @@ int main(int argc, char** argv) {
       return cmd_analyze(argc - 1, argv + 1);
     if (std::strcmp(argv[1], "faultsim") == 0)
       return cmd_faultsim(argc - 1, argv + 1);
+    if (std::strcmp(argv[1], "campaign") == 0)
+      return cmd_campaign(argc - 1, argv + 1);
     if (std::strcmp(argv[1], "spectra") == 0)
       return cmd_spectra(argc - 1, argv + 1);
     if (std::strcmp(argv[1], "export") == 0)

@@ -12,13 +12,73 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace fdbist::common {
+
+/// Cooperative cancellation with an optional deadline.
+///
+/// A token is shared by reference with workers, who poll cancelled() at
+/// natural stopping points (the fault engine polls at 63-fault batch
+/// boundaries) and wind down gracefully — partial results are returned,
+/// never discarded. cancel() may be called from any thread, including a
+/// signal-adjacent watcher or another worker. The deadline, by contrast,
+/// must be configured before the token is shared (it is plain data; the
+/// happens-before edge comes from thread creation).
+///
+/// Tokens chain: a child constructed with a parent reports cancelled()
+/// when either fires, which lets a scoped deadline (one campaign slice)
+/// nest under a caller-owned kill switch without mutating the caller's
+/// token.
+class CancelToken {
+public:
+  CancelToken() = default;
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+  /// Request cancellation. Thread-safe, idempotent.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Cancel automatically once `seconds` have elapsed from now. Call
+  /// before sharing the token with workers; not thread-safe afterwards.
+  void set_deadline_after(double seconds) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds));
+    has_deadline_ = true;
+  }
+
+  /// True once cancel() was called (here or on an ancestor) or the
+  /// deadline has passed. Safe to call concurrently from any thread.
+  bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_)
+      return true;
+    return parent_ != nullptr && parent_->cancelled();
+  }
+
+  /// Why the token fired: an explicit cancel() anywhere in the chain
+  /// reports Cancelled; otherwise an expired deadline reports
+  /// DeadlineExceeded. Meaningful only once cancelled() is true.
+  ErrorCode reason() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return ErrorCode::Cancelled;
+    if (parent_ != nullptr && parent_->cancelled()) return parent_->reason();
+    return ErrorCode::DeadlineExceeded;
+  }
+
+private:
+  std::atomic<bool> cancelled_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  const CancelToken* parent_ = nullptr;
+};
 
 /// Resolve a user-facing thread-count knob: 0 means "one worker per
 /// hardware thread". hardware_concurrency() may itself report 0 on
@@ -61,15 +121,26 @@ void run_workers(std::size_t threads, Fn&& fn) {
 /// most `threads` workers (pass the result of resolve_threads(); a
 /// value of 0 is treated as 1). Indices are claimed dynamically, so
 /// execution order across items is unspecified — but each index runs
-/// exactly once, and the call blocks until all are done. Exceptions
-/// propagate as in run_workers; workers stop claiming new indices once
-/// one has failed.
+/// at most once, and the call blocks until all workers are joined.
+/// Exceptions propagate as in run_workers; workers stop claiming new
+/// indices once one has failed.
+///
+/// If `cancel` is non-null, workers also stop claiming indices once the
+/// token fires: indices already claimed finish normally (a body is
+/// never interrupted mid-item) and unclaimed ones never run. The caller
+/// learns which indices ran from its own per-item records — with
+/// dynamic claiming the executed set need not be a prefix of [0,
+/// count). See fault/simulator.cpp for the canonical use.
 template <typename Body>
-void parallel_for(std::size_t count, std::size_t threads, Body&& body) {
+void parallel_for(std::size_t count, std::size_t threads,
+                  const CancelToken* cancel, Body&& body) {
   const std::size_t workers =
       std::min(threads == 0 ? std::size_t{1} : threads, count);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(std::size_t{0}, i);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      body(std::size_t{0}, i);
+    }
     return;
   }
   std::atomic<std::size_t> next{0};
@@ -77,7 +148,8 @@ void parallel_for(std::size_t count, std::size_t threads, Body&& body) {
   run_workers(workers, [&](std::size_t worker) {
     try {
       for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-           i < count && !failed.load(std::memory_order_relaxed);
+           i < count && !failed.load(std::memory_order_relaxed) &&
+           !(cancel != nullptr && cancel->cancelled());
            i = next.fetch_add(1, std::memory_order_relaxed))
         body(worker, i);
     } catch (...) {
@@ -85,6 +157,11 @@ void parallel_for(std::size_t count, std::size_t threads, Body&& body) {
       throw;
     }
   });
+}
+
+template <typename Body>
+void parallel_for(std::size_t count, std::size_t threads, Body&& body) {
+  parallel_for(count, threads, nullptr, std::forward<Body>(body));
 }
 
 } // namespace fdbist::common

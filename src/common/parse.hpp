@@ -1,0 +1,68 @@
+// Checked parsing of user-typed numbers (CLI arguments, env vars).
+//
+// std::stoul/std::stod throw std::invalid_argument / std::out_of_range
+// on malformed input and silently accept trailing garbage ("12abc");
+// every entry point that consumes user text routes through these
+// helpers instead, getting back an Expected with an InvalidArgument
+// error naming the offending parameter. The CLI prints error.to_string()
+// plus usage and exits 2; the bench drivers do the same for env vars.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace fdbist::common {
+
+/// Parse a non-negative integer in [min_value, max_value]. Rejects empty
+/// strings, sign characters, trailing garbage, and out-of-range values.
+inline Expected<std::size_t> parse_size(
+    const char* text, const char* what,
+    std::size_t min_value = 0,
+    std::size_t max_value = std::numeric_limits<std::size_t>::max()) {
+  auto fail = [&](const std::string& why) {
+    return Error{ErrorCode::InvalidArgument,
+                 std::string(what) + ": " + why + " (got \"" +
+                     (text == nullptr ? "" : text) + "\")"};
+  };
+  if (text == nullptr || text[0] == '\0') return fail("expected a number");
+  // strtoull accepts leading whitespace and a sign; neither is a valid
+  // way to spell a count, so reject them up front.
+  if (!(text[0] >= '0' && text[0] <= '9'))
+    return fail("expected an unsigned integer");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return fail("trailing garbage");
+  if (errno == ERANGE || v > max_value)
+    return fail("must be at most " + std::to_string(max_value));
+  if (v < min_value)
+    return fail("must be at least " + std::to_string(min_value));
+  return static_cast<std::size_t>(v);
+}
+
+/// Parse a finite double in [min_value, max_value].
+inline Expected<double> parse_double(
+    const char* text, const char* what,
+    double min_value = std::numeric_limits<double>::lowest(),
+    double max_value = std::numeric_limits<double>::max()) {
+  auto fail = [&](const std::string& why) {
+    return Error{ErrorCode::InvalidArgument,
+                 std::string(what) + ": " + why + " (got \"" +
+                     (text == nullptr ? "" : text) + "\")"};
+  };
+  if (text == nullptr || text[0] == '\0') return fail("expected a number");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') return fail("expected a real number");
+  if (errno == ERANGE || !(v >= min_value && v <= max_value))
+    return fail("must be in [" + std::to_string(min_value) + ", " +
+                std::to_string(max_value) + "]");
+  return v;
+}
+
+} // namespace fdbist::common

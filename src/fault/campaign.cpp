@@ -1,0 +1,193 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/check.hpp"
+#include "fault/checkpoint.hpp"
+
+namespace fdbist::fault {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+std::string sanitize_label(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (const char c : label)
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+                          c == '_' || c == '-'
+                      ? c
+                      : '_');
+  return out.empty() ? std::string("job") : out;
+}
+
+} // namespace
+
+Expected<CampaignResult> run_campaign(const gate::Netlist& nl,
+                                      std::span<const std::int64_t> stimulus,
+                                      std::span<const Fault> faults,
+                                      const CampaignOptions& opt) {
+  FDBIST_REQUIRE(opt.checkpoint_every > 0,
+                 "checkpoint_every must be positive");
+  FDBIST_REQUIRE(opt.deadline_s >= 0, "deadline must be non-negative");
+
+  const std::size_t total = faults.size();
+  const std::size_t slice = opt.checkpoint_every;
+  const std::size_t num_slices = (total + slice - 1) / slice;
+  const bool persist = !opt.checkpoint_path.empty();
+
+  CampaignResult res;
+  res.sim.total_faults = total;
+  res.sim.vectors = stimulus.size();
+  res.sim.detect_cycle.assign(total, -1);
+  res.sim.finalized.assign(total, 0);
+
+  Checkpoint ck;
+  ck.stimulus_len = stimulus.size();
+  ck.slice_size = slice;
+  ck.slice_finalized.assign(num_slices, 0);
+  ck.detect_cycle.assign(total, -1);
+  if (persist) {
+    ck.netlist_fp = fingerprint_netlist(nl);
+    ck.stimulus_fp = fingerprint_stimulus(stimulus);
+    ck.faults_fp = fingerprint_faults(faults);
+  }
+
+  if (persist && opt.resume && file_exists(opt.checkpoint_path)) {
+    auto loaded = load_checkpoint(opt.checkpoint_path);
+    if (!loaded) return loaded.error();
+    const Checkpoint& old = *loaded;
+    auto refuse = [&](const std::string& what) {
+      return Error{ErrorCode::FingerprintMismatch,
+                   opt.checkpoint_path +
+                       " was written by a different campaign (" + what +
+                       "); delete it to start over"};
+    };
+    if (old.netlist_fp != ck.netlist_fp) return refuse("netlist differs");
+    if (old.stimulus_fp != ck.stimulus_fp ||
+        old.stimulus_len != ck.stimulus_len)
+      return refuse("stimulus differs");
+    if (old.faults_fp != ck.faults_fp || old.fault_count() != total)
+      return refuse("fault universe differs");
+    if (old.slice_size != slice)
+      return refuse("checkpoint_every was " + std::to_string(old.slice_size) +
+                    ", now " + std::to_string(slice));
+
+    ck.slice_finalized = old.slice_finalized;
+    for (std::size_t s = 0; s < num_slices; ++s) {
+      if (!ck.slice_finalized[s]) continue;
+      const std::size_t lo = s * slice;
+      const std::size_t hi = std::min(total, lo + slice);
+      std::copy(old.detect_cycle.begin() + std::ptrdiff_t(lo),
+                old.detect_cycle.begin() + std::ptrdiff_t(hi),
+                ck.detect_cycle.begin() + std::ptrdiff_t(lo));
+      std::copy(ck.detect_cycle.begin() + std::ptrdiff_t(lo),
+                ck.detect_cycle.begin() + std::ptrdiff_t(hi),
+                res.sim.detect_cycle.begin() + std::ptrdiff_t(lo));
+      std::fill(res.sim.finalized.begin() + std::ptrdiff_t(lo),
+                res.sim.finalized.begin() + std::ptrdiff_t(hi),
+                std::uint8_t{1});
+      ++res.resumed_slices;
+    }
+  }
+
+  // Local token chains the caller's kill switch under this call's
+  // deadline; workers poll it at batch boundaries.
+  common::CancelToken token(opt.cancel);
+  if (opt.deadline_s > 0) token.set_deadline_after(opt.deadline_s);
+
+  std::size_t finalized_before = res.sim.finalized_count();
+
+  for (std::size_t s = 0; s < num_slices; ++s) {
+    if (ck.slice_finalized[s]) continue;
+    if (token.cancelled()) {
+      res.stop_reason = token.reason();
+      break;
+    }
+    const std::size_t lo = s * slice;
+    const std::size_t hi = std::min(total, lo + slice);
+
+    FaultSimOptions fopt;
+    fopt.num_threads = opt.num_threads;
+    fopt.cancel = &token;
+    if (opt.progress)
+      fopt.progress = [&](std::size_t done, std::size_t) {
+        opt.progress(finalized_before + done, total);
+      };
+
+    const FaultSimResult part =
+        simulate_faults(nl, stimulus, faults.subspan(lo, hi - lo), fopt);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!part.finalized[i - lo]) continue;
+      res.sim.detect_cycle[i] = part.detect_cycle[i - lo];
+      res.sim.finalized[i] = 1;
+      ck.detect_cycle[i] = part.detect_cycle[i - lo];
+    }
+    if (!part.complete) {
+      // Cancelled mid-slice: keep the partial verdicts in the returned
+      // result but do not finalize the slice — the checkpoint only ever
+      // records slices whose every fault has a verdict, which is what
+      // makes resume bit-identical.
+      res.stop_reason = token.reason();
+      break;
+    }
+
+    ck.slice_finalized[s] = 1;
+    ++res.completed_slices;
+    finalized_before += hi - lo;
+    if (persist) {
+      auto saved = save_checkpoint(opt.checkpoint_path, ck);
+      if (!saved) return saved.error();
+      ++res.checkpoints_written;
+    }
+  }
+
+  for (const std::int32_t c : res.sim.detect_cycle)
+    if (c >= 0) ++res.sim.detected;
+  res.sim.complete = res.sim.finalized_count() == total;
+  return res;
+}
+
+Expected<std::vector<CampaignResult>> run_campaigns(
+    std::span<const CampaignJob> jobs, const CampaignOptions& opt) {
+  const bool persist = !opt.checkpoint_path.empty();
+  if (persist) {
+    if (::mkdir(opt.checkpoint_path.c_str(), 0777) != 0 && errno != EEXIST)
+      return Error{ErrorCode::Io,
+                   "cannot create checkpoint directory " + opt.checkpoint_path};
+  }
+
+  // One token bounds the whole matrix; per-job campaigns chain off it
+  // instead of restarting the deadline clock.
+  common::CancelToken token(opt.cancel);
+  if (opt.deadline_s > 0) token.set_deadline_after(opt.deadline_s);
+
+  std::vector<CampaignResult> results;
+  results.reserve(jobs.size());
+  for (const CampaignJob& job : jobs) {
+    FDBIST_REQUIRE(job.netlist != nullptr, "campaign job without a netlist");
+    if (token.cancelled()) break;
+    CampaignOptions jopt = opt;
+    jopt.deadline_s = 0;
+    jopt.cancel = &token;
+    jopt.checkpoint_path =
+        persist ? opt.checkpoint_path + "/" + sanitize_label(job.label) +
+                      ".ckpt"
+                : std::string();
+    auto r = run_campaign(*job.netlist, job.stimulus, job.faults, jopt);
+    if (!r) return r.error();
+    results.push_back(std::move(*r));
+    if (results.back().stop_reason) break;
+  }
+  return results;
+}
+
+} // namespace fdbist::fault

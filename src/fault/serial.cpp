@@ -1,5 +1,7 @@
 #include "fault/serial.hpp"
 
+#include <limits>
+
 #include "common/check.hpp"
 
 namespace fdbist::fault {
@@ -20,9 +22,13 @@ FaultSimResult simulate_faults_serial(const gate::Netlist& nl,
                                       std::span<const std::int64_t> stimulus,
                                       std::span<const Fault> faults) {
   FDBIST_REQUIRE(!stimulus.empty(), "empty stimulus");
+  FDBIST_REQUIRE(stimulus.size() <=
+                     std::size_t(std::numeric_limits<std::int32_t>::max()),
+                 "stimulus too long for the int32 detect_cycle encoding");
   FaultSimResult result;
   result.total_faults = faults.size();
   result.vectors = stimulus.size();
+  result.finalized.assign(faults.size(), 1);
   result.detect_cycle.reserve(faults.size());
   for (const Fault& f : faults) {
     const std::int32_t c = detect_cycle_of(nl, stimulus, f);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <mutex>
 
 #include "common/check.hpp"
@@ -81,11 +82,15 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
                  "fault simulation drives a single primary input");
   FDBIST_REQUIRE(!nl.outputs().empty(), "netlist has no observed outputs");
   FDBIST_REQUIRE(!stimulus.empty(), "empty stimulus");
+  FDBIST_REQUIRE(stimulus.size() <=
+                     std::size_t(std::numeric_limits<std::int32_t>::max()),
+                 "stimulus too long for the int32 detect_cycle encoding");
 
   FaultSimResult result;
   result.total_faults = faults.size();
   result.vectors = stimulus.size();
   result.detect_cycle.assign(faults.size(), -1);
+  result.finalized.assign(faults.size(), 0);
 
   const std::size_t threads = common::resolve_threads(opt.num_threads);
 
@@ -111,6 +116,11 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
   // which makes the returned order — and therefore the batch composition
   // of the next pass — identical to the sequential engine's for any
   // thread count.
+  //
+  // Cancellation stops workers at batch boundaries: a batch that never
+  // ran leaves its faults unfinalized (and out of the survivor list, so
+  // a later pass never touches them either). Batches that did run keep
+  // their verdicts — the partial result is valid, just incomplete.
   auto run_pass = [&](const std::vector<std::size_t>& indices,
                       std::size_t budget, bool final_pass) {
     const std::size_t num_batches = (indices.size() + kLanes - 1) / kLanes;
@@ -121,22 +131,37 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
     for (std::size_t w = 0; w < workers; ++w) sims.emplace_back(nl);
 
     std::vector<std::vector<std::size_t>> batch_survivors(num_batches);
+    std::vector<std::uint8_t> batch_ran(num_batches, 0);
     common::parallel_for(
-        num_batches, workers, [&](std::size_t worker, std::size_t b) {
+        num_batches, workers, opt.cancel,
+        [&](std::size_t worker, std::size_t b) {
           const std::size_t base = b * kLanes;
           const std::size_t count = std::min(kLanes, indices.size() - base);
           std::vector<std::size_t>& survivors = batch_survivors[b];
           run_batch(sims[worker], faults, stimulus,
                     {indices.data() + base, count}, budget,
                     result.detect_cycle, survivors);
+          batch_ran[b] = 1;
           report_finalized(final_pass ? count : count - survivors.size());
         });
 
     std::vector<std::size_t> survivors;
-    for (const auto& bs : batch_survivors)
-      survivors.insert(survivors.end(), bs.begin(), bs.end());
+    for (std::size_t b = 0; b < num_batches; ++b) {
+      if (!batch_ran[b]) continue;
+      const std::size_t base = b * kLanes;
+      const std::size_t count = std::min(kLanes, indices.size() - base);
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t idx = indices[base + k];
+        if (final_pass || result.detect_cycle[idx] >= 0)
+          result.finalized[idx] = 1;
+      }
+      survivors.insert(survivors.end(), batch_survivors[b].begin(),
+                       batch_survivors[b].end());
+    }
     return survivors;
   };
+
+  auto cancelled = [&] { return opt.cancel != nullptr && opt.cancel->cancelled(); };
 
   // Stage 1: a short budget weeds out the easily detected majority so
   // only genuinely hard faults pay for long batches. Stage 2 finishes
@@ -146,10 +171,12 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
   const std::size_t stage1 = std::min<std::size_t>(128, stimulus.size());
   const bool stage1_is_final = stage1 == stimulus.size();
   auto survivors = run_pass(all, stage1, stage1_is_final);
-  if (!stage1_is_final && !survivors.empty())
-    survivors = run_pass(survivors, stimulus.size(), /*final_pass=*/true);
+  if (!stage1_is_final && !survivors.empty() && !cancelled())
+    run_pass(survivors, stimulus.size(), /*final_pass=*/true);
 
-  result.detected = faults.size() - survivors.size();
+  for (const std::int32_t c : result.detect_cycle)
+    if (c >= 0) ++result.detected;
+  result.complete = result.finalized_count() == faults.size();
   return result;
 }
 

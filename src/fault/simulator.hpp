@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "fault/fault.hpp"
 
 namespace fdbist::fault {
@@ -30,8 +31,19 @@ struct FaultSimOptions {
   /// batch; a fault is finalized once detected or once it has survived
   /// the full stimulus. Calls are serialized under an internal mutex,
   /// so even with many workers the callback observes a strictly
-  /// increasing sequence ending at (total, total). May be empty.
+  /// increasing sequence, ending at (total, total) unless the run is
+  /// cancelled first. May be empty. An exception thrown from the
+  /// callback cancels outstanding batches, joins all workers, and
+  /// propagates to the simulate_faults caller.
   std::function<void(std::size_t, std::size_t)> progress;
+
+  /// Optional cooperative cancellation (caller keeps ownership; the
+  /// token must outlive the call). Workers poll at 63-fault batch
+  /// boundaries: once the token fires — explicit cancel() or an expired
+  /// deadline — no new batch starts, in-flight batches finish, and a
+  /// valid *partial* FaultSimResult comes back with complete == false.
+  /// Coverage-so-far is reported, never discarded.
+  const common::CancelToken* cancel = nullptr;
 };
 
 struct FaultSimResult {
@@ -39,7 +51,21 @@ struct FaultSimResult {
   std::size_t detected = 0;
   std::size_t vectors = 0;
   /// Per-fault cycle (0-based) of first detection, -1 if never detected.
+  /// On a cancelled run, -1 also covers faults whose batches never ran;
+  /// `finalized` disambiguates.
   std::vector<std::int32_t> detect_cycle;
+  /// Per-fault: 1 once the engine reached a definitive verdict (detected,
+  /// or survived the full stimulus). All-ones unless cancelled.
+  std::vector<std::uint8_t> finalized;
+  /// False iff the run was cut short by the cancellation token — some
+  /// faults then carry no verdict and `missed()` overstates misses.
+  bool complete = true;
+
+  std::size_t finalized_count() const {
+    std::size_t n = 0;
+    for (const std::uint8_t f : finalized) n += f;
+    return n;
+  }
 
   std::size_t missed() const { return total_faults - detected; }
   double coverage() const {
@@ -58,7 +84,10 @@ struct FaultSimResult {
 /// Simulate every fault against the stimulus (raw input words for the
 /// design's single primary input). Returns per-fault first-detection
 /// cycles. Deterministic for any FaultSimOptions::num_threads; batches
-/// of 63 faults in the given order.
+/// of 63 faults in the given order. Each fault's detect cycle is a pure
+/// function of (netlist, stimulus, fault) — batch composition and fault
+/// ordering never change it — which is what makes sliced/checkpointed
+/// campaigns (fault/campaign.hpp) bit-identical to one-shot runs.
 FaultSimResult simulate_faults(const gate::Netlist& nl,
                                std::span<const std::int64_t> stimulus,
                                std::span<const Fault> faults,

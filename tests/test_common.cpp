@@ -2,10 +2,98 @@
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/parse.hpp"
 #include "common/xoshiro.hpp"
 
 namespace fdbist {
 namespace {
+
+TEST(Expected, HoldsValueOrError) {
+  Expected<int> ok(42);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(*ok, 42);
+
+  Expected<int> bad(Error{ErrorCode::Io, "disk on fire"});
+  ASSERT_FALSE(bad);
+  EXPECT_EQ(bad.error().code, ErrorCode::Io);
+  EXPECT_EQ(bad.error().to_string(), "io: disk on fire");
+  EXPECT_THROW((void)bad.value(), invariant_error);
+
+  Expected<void> none;
+  EXPECT_TRUE(none);
+  Expected<void> failed(Error{ErrorCode::Cancelled, ""});
+  ASSERT_FALSE(failed);
+  EXPECT_STREQ(error_code_name(failed.error().code), "cancelled");
+}
+
+TEST(Parse, SizeAcceptsPlainIntegers) {
+  EXPECT_EQ(*common::parse_size("0", "n"), 0u);
+  EXPECT_EQ(*common::parse_size("4096", "n"), 4096u);
+  EXPECT_EQ(*common::parse_size("7", "n", 1, 10), 7u);
+}
+
+TEST(Parse, SizeRejectsGarbageSignsAndRange) {
+  for (const char* bad : {"", "abc", "12abc", "-3", "+4", " 5", "1e3",
+                          "99999999999999999999999999"}) {
+    const auto v = common::parse_size(bad, "n");
+    ASSERT_FALSE(v) << '"' << bad << '"';
+    EXPECT_EQ(v.error().code, ErrorCode::InvalidArgument) << bad;
+  }
+  EXPECT_FALSE(common::parse_size("11", "n", 0, 10));
+  EXPECT_FALSE(common::parse_size("1", "n", 2, 10));
+  // The error message names the offending parameter and value.
+  const auto v = common::parse_size("oops", "--threads");
+  EXPECT_NE(v.error().message.find("--threads"), std::string::npos);
+  EXPECT_NE(v.error().message.find("oops"), std::string::npos);
+}
+
+TEST(Parse, DoubleAcceptsRealsRejectsGarbage) {
+  EXPECT_DOUBLE_EQ(*common::parse_double("0.25", "f"), 0.25);
+  EXPECT_DOUBLE_EQ(*common::parse_double("1e-3", "f"), 1e-3);
+  for (const char* bad : {"", "abc", "0.5x", "nanx"})
+    EXPECT_FALSE(common::parse_double(bad, "f")) << '"' << bad << '"';
+  EXPECT_FALSE(common::parse_double("0.7", "f", 0.0, 0.5));
+  EXPECT_FALSE(common::parse_double("-0.1", "f", 0.0, 0.5));
+}
+
+TEST(CancelToken, ExplicitCancelAndReason) {
+  common::CancelToken t;
+  EXPECT_FALSE(t.cancelled());
+  t.cancel();
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_EQ(t.reason(), ErrorCode::Cancelled);
+}
+
+TEST(CancelToken, DeadlineFires) {
+  common::CancelToken t;
+  t.set_deadline_after(0.0);
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_EQ(t.reason(), ErrorCode::DeadlineExceeded);
+
+  common::CancelToken far;
+  far.set_deadline_after(3600.0);
+  EXPECT_FALSE(far.cancelled());
+}
+
+TEST(CancelToken, ChainsToParent) {
+  common::CancelToken parent;
+  common::CancelToken child(&parent);
+  EXPECT_FALSE(child.cancelled());
+  parent.cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_EQ(child.reason(), ErrorCode::Cancelled);
+}
+
+TEST(ParallelFor, CancelledTokenStopsClaiming) {
+  common::CancelToken t;
+  t.cancel();
+  std::atomic<std::size_t> ran{0};
+  common::parallel_for(1000, 4, &t,
+                       [&](std::size_t, std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 0u);
+}
 
 TEST(Bits, LowMask) {
   EXPECT_EQ(low_mask(0), 0u);

@@ -4,6 +4,8 @@
 // strictly increasing sequence regardless of worker interleaving.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "fault/simulator.hpp"
@@ -106,6 +108,90 @@ TEST(FaultParallel, ProgressIsMonotoneAndComplete) {
         << "final progress report must cover every fault (" << threads
         << " threads)";
   }
+}
+
+// Regression: an exception thrown from the progress callback must
+// cancel outstanding batches, join every worker, and propagate to the
+// caller — not hang the pool or leak worker state (the ASan job keeps
+// this honest). Thrown at several points in the campaign so both the
+// stage-1 sweep and the stage-2 survivor pass are exercised.
+TEST(FaultParallel, ProgressExceptionJoinsWorkersAndPropagates) {
+  struct ProgressBomb : std::runtime_error {
+    using std::runtime_error::runtime_error;
+  };
+  // Size the fuses from a clean run's callback count so the bomb goes
+  // off early, midway, and on the final report.
+  std::size_t total_calls = 0;
+  {
+    FaultSimOptions opt;
+    opt.num_threads = 1;
+    opt.progress = [&](std::size_t, std::size_t) { ++total_calls; };
+    simulate_faults(fixture().low.netlist, fixture().stim, fixture().faults,
+                    opt);
+  }
+  ASSERT_GT(total_calls, 2u) << "fixture too small to stage a mid-run throw";
+
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    for (const std::size_t fuse :
+         {std::size_t{1}, total_calls / 2, total_calls}) {
+      FaultSimOptions opt;
+      opt.num_threads = threads;
+      std::atomic<std::size_t> calls{0};
+      opt.progress = [&](std::size_t, std::size_t) {
+        if (++calls >= fuse) throw ProgressBomb("boom");
+      };
+      EXPECT_THROW(simulate_faults(fixture().low.netlist, fixture().stim,
+                                   fixture().faults, opt),
+                   ProgressBomb)
+          << threads << " threads, fuse " << fuse;
+    }
+  }
+}
+
+TEST(FaultParallel, CancelledRunReturnsValidPartialResult) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    common::CancelToken token;
+    FaultSimOptions opt;
+    opt.num_threads = threads;
+    opt.cancel = &token;
+    std::size_t calls = 0;
+    // Cancel from inside the campaign, as a deadline watcher would.
+    opt.progress = [&](std::size_t, std::size_t) {
+      if (++calls == 2) token.cancel();
+    };
+    const auto r = simulate_faults(fixture().low.netlist, fixture().stim,
+                                   fixture().faults, opt);
+    EXPECT_FALSE(r.complete) << threads << " threads";
+    EXPECT_LT(r.finalized_count(), r.total_faults);
+    // Every verdict present in the partial result matches the oracle of
+    // an uninterrupted run: cancellation degrades coverage, never
+    // correctness.
+    const auto full = run_with(1);
+    ASSERT_EQ(r.detect_cycle.size(), full.detect_cycle.size());
+    std::size_t detected = 0;
+    for (std::size_t i = 0; i < r.detect_cycle.size(); ++i) {
+      if (r.finalized[i]) {
+        EXPECT_EQ(r.detect_cycle[i], full.detect_cycle[i]) << "fault " << i;
+      }
+      if (r.detect_cycle[i] >= 0) ++detected;
+    }
+    EXPECT_EQ(r.detected, detected);
+  }
+}
+
+TEST(FaultParallel, PreCancelledTokenYieldsEmptyResultWithoutHanging) {
+  common::CancelToken token;
+  token.cancel();
+  FaultSimOptions opt;
+  opt.num_threads = 4;
+  opt.cancel = &token;
+  const auto r = simulate_faults(fixture().low.netlist, fixture().stim,
+                                 fixture().faults, opt);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.finalized_count(), 0u);
+  EXPECT_EQ(r.detected, 0u);
+  EXPECT_EQ(r.total_faults, fixture().faults.size());
 }
 
 } // namespace
