@@ -62,6 +62,22 @@ inline void heading(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
 
+/// One-line engine observability summary (FaultSimResult::stats): which
+/// batch kernel ran and how much of the naive full sweep it skipped via
+/// cone restriction and early exit. Purely informational — verdicts are
+/// engine-independent — but it puts the kernel's work next to the
+/// numbers it produced, so a perf regression is visible in bench logs.
+inline void engine_stats(const std::string& label,
+                         const fault::FaultSimStats& s) {
+  if (s.batches == 0) return;
+  std::printf("  [%s: %s engine, %llu batches, mean cone %.1f%%, "
+              "gate-eval savings %.1f%%, early exit %.0f cyc/batch]\n",
+              label.c_str(), fault::fault_sim_engine_name(s.engine),
+              static_cast<unsigned long long>(s.batches),
+              100.0 * s.mean_cone_fraction(), 100.0 * s.gate_eval_savings(),
+              s.mean_early_exit_cycles());
+}
+
 inline void note(const std::string& text) {
   std::printf("  %s\n", text.c_str());
 }

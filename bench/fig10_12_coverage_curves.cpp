@@ -38,11 +38,13 @@ int main() {
                    ": fault coverage vs vectors (%)");
 
     std::vector<std::vector<double>> curves;
+    fault::FaultSimStats stats;
     for (const auto k : kKinds) {
       auto gen = tpg::make_generator(k, 12);
       const auto report =
           bench::evaluate(kit, *gen, vectors, d.name + "/" + gen->name());
       curves.push_back(report.fault_result.coverage_at(checkpoints));
+      stats.merge(report.fault_result.stats);
     }
 
     std::printf("  %8s %9s %9s %9s %9s\n", "vectors", "LFSR-1", "LFSR-D",
@@ -52,6 +54,7 @@ int main() {
       for (const auto& c : curves) std::printf(" %9.3f", 100.0 * c[ci]);
       std::printf("\n");
     }
+    bench::engine_stats(d.name, stats);
   }
   bench::note("");
   bench::note("expected shapes: on the lowpass, LFSR-1 trails LFSR-D at "

@@ -28,6 +28,7 @@ int main() {
     std::size_t adders = 0;
     std::array<std::size_t, 4> missed{};
     std::array<double, 4> coverage{};
+    fault::FaultSimStats stats;
   };
   std::vector<Row> rows;
 
@@ -45,6 +46,7 @@ int main() {
           bench::evaluate(kit, *gen, vectors, d.name + "/" + gen->name());
       row.missed[gi] = report.missed();
       row.coverage[gi] = report.coverage();
+      row.stats.merge(report.fault_result.stats);
     }
     rows.push_back(std::move(row));
   }
@@ -61,6 +63,9 @@ int main() {
     std::printf("  %-5s %8.2f %8.2f %8.2f %8.2f\n", r.name.c_str(),
                 100 * r.coverage[0], 100 * r.coverage[1],
                 100 * r.coverage[2], 100 * r.coverage[3]);
+
+  std::printf("\n");
+  for (const auto& r : rows) bench::engine_stats(r.name, r.stats);
 
   bench::heading("Table 5: missed faults normalized by adder count");
   std::printf("  paper:  LP 2.84/1.81/5.99/2.65   BP 1.25/1.20/6.24/7.64   "

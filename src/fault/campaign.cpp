@@ -125,6 +125,7 @@ Expected<CampaignResult> run_campaign(const gate::Netlist& nl,
 
     const FaultSimResult part =
         simulate_faults(nl, stimulus, faults.subspan(lo, hi - lo), fopt);
+    res.sim.stats.merge(part.stats); // observability only; never persisted
     for (std::size_t i = lo; i < hi; ++i) {
       if (!part.finalized[i - lo]) continue;
       res.sim.detect_cycle[i] = part.detect_cycle[i - lo];

@@ -69,6 +69,9 @@ struct CampaignOptions {
 
 struct CampaignResult {
   /// Merged verdicts. complete == false iff the run stopped early.
+  /// sim.stats aggregates engine observability over the slices this
+  /// invocation ran (slices restored from a checkpoint did no work and
+  /// contribute nothing).
   FaultSimResult sim;
   /// Slices skipped because the loaded checkpoint had finalized them.
   std::size_t resumed_slices = 0;

@@ -1,8 +1,6 @@
 #include "fault/serial.hpp"
 
-#include <limits>
-
-#include "common/check.hpp"
+#include "gate/sim.hpp"
 
 namespace fdbist::fault {
 
@@ -21,21 +19,10 @@ std::int32_t detect_cycle_of(const gate::Netlist& nl,
 FaultSimResult simulate_faults_serial(const gate::Netlist& nl,
                                       std::span<const std::int64_t> stimulus,
                                       std::span<const Fault> faults) {
-  FDBIST_REQUIRE(!stimulus.empty(), "empty stimulus");
-  FDBIST_REQUIRE(stimulus.size() <=
-                     std::size_t(std::numeric_limits<std::int32_t>::max()),
-                 "stimulus too long for the int32 detect_cycle encoding");
-  FaultSimResult result;
-  result.total_faults = faults.size();
-  result.vectors = stimulus.size();
-  result.finalized.assign(faults.size(), 1);
-  result.detect_cycle.reserve(faults.size());
-  for (const Fault& f : faults) {
-    const std::int32_t c = detect_cycle_of(nl, stimulus, f);
-    result.detect_cycle.push_back(c);
-    if (c >= 0) ++result.detected;
-  }
-  return result;
+  FaultSimOptions opt;
+  opt.num_threads = 1;
+  opt.engine = FaultSimEngine::FullSweep;
+  return simulate_faults(nl, stimulus, faults, opt);
 }
 
 } // namespace fdbist::fault

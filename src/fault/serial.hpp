@@ -1,10 +1,14 @@
-// Serial (one-fault-at-a-time) fault simulation.
+// Serial fault simulation: the reference configuration of the shared
+// batch kernel.
 //
-// The obvious reference algorithm: simulate the good machine and one
-// faulty machine per fault, cycle by cycle. ~60x slower than the
-// word-parallel engine (fault/simulator.hpp) but trivially correct, so
-// it serves as the differential-testing oracle for the fast path and as
-// the baseline in the perf ablations.
+// Historically a separate one-fault-at-a-time engine; now one shard of
+// the parallel engine (fault/simulator.hpp): the same batch kernel
+// pinned to a single worker and to the retained full-sweep engine, so
+// it exercises the pre-compilation datapath (whole-netlist sweep, no
+// good-trace reuse) and serves as the differential reference for the
+// compiled cone-restricted engine. detect_cycle_of remains a genuinely
+// independent micro-oracle: one fault, one lane, a straight-line loop
+// with none of the kernel's batching or staging.
 #pragma once
 
 #include <span>
@@ -13,7 +17,8 @@
 
 namespace fdbist::fault {
 
-/// Same contract as simulate_faults, implemented serially.
+/// Same contract (and bit-identical results) as simulate_faults, forced
+/// onto one worker and the full-sweep reference engine.
 FaultSimResult simulate_faults_serial(const gate::Netlist& nl,
                                       std::span<const std::int64_t> stimulus,
                                       std::span<const Fault> faults);

@@ -4,11 +4,23 @@
 #include <bit>
 #include <limits>
 #include <mutex>
+#include <optional>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "gate/schedule.hpp"
+#include "gate/sim.hpp"
 
 namespace fdbist::fault {
+
+const char* fault_sim_engine_name(FaultSimEngine e) {
+  switch (e) {
+  case FaultSimEngine::Auto: return "auto";
+  case FaultSimEngine::Compiled: return "compiled-cone";
+  case FaultSimEngine::FullSweep: return "full-sweep";
+  }
+  return "?";
+}
 
 std::size_t FaultSimResult::detected_by(std::size_t vector_count) const {
   std::size_t n = 0;
@@ -33,17 +45,43 @@ namespace {
 
 constexpr std::size_t kLanes = 63; // lane 0 is the good machine
 
-// One 63-fault batch from reset through the first `budget` vectors.
-// Writes first-detection cycles for the batch's own faults (disjoint
-// detect_cycle entries across batches) and appends the indices still
-// undetected to `survivors` in fault order. Because every batch restarts
-// from reset with the same stimulus prefix, detection cycles are exact
-// regardless of how faults are staged into batches.
-void run_batch(gate::WordSim& sim, std::span<const Fault> faults,
+/// Good traces above this size force the FullSweep fallback (Auto only).
+constexpr std::size_t kGoodTraceMemCap = std::size_t{512} << 20;
+
+/// Per-worker state for the shared batch kernel. One compiled schedule
+/// is shared read-only; everything mutable is private to the worker.
+struct Worker {
+  explicit Worker(const gate::CompiledSchedule& sched) : sim(sched) {}
+  gate::WordSim sim;
+  gate::CompiledSchedule::ConeWorkspace ws;
+  gate::CompiledSchedule::Cone cone;
+  std::vector<gate::NetId> sites;
+  FaultSimStats stats;
+};
+
+/// Scan `detected` lanes into per-fault first-detection cycles and
+/// append still-undetected batch members to `survivors` in fault order.
+void finish_batch(std::span<const std::size_t> batch, std::uint64_t detected,
+                  std::vector<std::size_t>& survivors) {
+  for (std::size_t k = 0; k < batch.size(); ++k)
+    if (!((detected >> (k + 1)) & 1u)) survivors.push_back(batch[k]);
+}
+
+/// One 63-fault batch from reset through the first `budget` vectors.
+/// Writes first-detection cycles for the batch's own faults (disjoint
+/// detect_cycle entries across batches) and appends the indices still
+/// undetected to `survivors` in fault order. Because every batch
+/// restarts from reset with the same stimulus prefix, detection cycles
+/// are exact regardless of how faults are staged into batches. The
+/// `trace` selects the engine: non-null runs the cone-restricted
+/// compiled sweep, null the full-netlist reference sweep.
+void run_batch(Worker& w, std::span<const Fault> faults,
                std::span<const std::int64_t> stimulus,
                std::span<const std::size_t> batch, std::size_t budget,
+               const gate::GoodTrace* trace,
                std::vector<std::int32_t>& detect_cycle,
                std::vector<std::size_t>& survivors) {
+  gate::WordSim& sim = w.sim;
   sim.reset();
   sim.clear_faults();
   std::uint64_t live = 0;
@@ -54,10 +92,28 @@ void run_batch(gate::WordSim& sim, std::span<const Fault> faults,
     live |= mask;
   }
 
+  const std::size_t logic_gates = sim.schedule().logic_gates();
+  std::size_t cone_gates = logic_gates;
+  if (trace != nullptr) {
+    w.sites.clear();
+    for (const std::size_t idx : batch) w.sites.push_back(faults[idx].gate);
+    sim.schedule().collect_cone(w.sites, w.ws, w.cone);
+    cone_gates = w.cone.gates.size();
+  }
+
   std::uint64_t detected = 0;
+  std::size_t cycles = 0;
   for (std::size_t t = 0; t < budget; ++t) {
-    sim.step_broadcast(stimulus[t]);
-    std::uint64_t newly = sim.output_mismatch() & live & ~detected;
+    std::uint64_t newly;
+    if (trace != nullptr) {
+      const std::uint64_t* row = trace->row(t);
+      sim.step_cone(w.cone, row);
+      newly = sim.cone_output_mismatch(w.cone, row) & live & ~detected;
+    } else {
+      sim.step_broadcast(stimulus[t]);
+      newly = sim.output_mismatch() & live & ~detected;
+    }
+    ++cycles;
     if (newly == 0) continue;
     detected |= newly;
     while (newly != 0) {
@@ -68,8 +124,15 @@ void run_batch(gate::WordSim& sim, std::span<const Fault> faults,
     }
     if (detected == live) break;
   }
-  for (std::size_t k = 0; k < batch.size(); ++k)
-    if (!((detected >> (k + 1)) & 1u)) survivors.push_back(batch[k]);
+  finish_batch(batch, detected, survivors);
+
+  w.stats.batches += 1;
+  w.stats.cycles_simulated += cycles;
+  w.stats.cycles_budgeted += budget;
+  w.stats.gates_evaluated += std::uint64_t(cone_gates) * cycles;
+  w.stats.gates_full_sweep += std::uint64_t(logic_gates) * cycles;
+  w.stats.cone_fraction_sum +=
+      logic_gates == 0 ? 1.0 : double(cone_gates) / double(logic_gates);
 }
 
 } // namespace
@@ -92,6 +155,15 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
   result.detect_cycle.assign(faults.size(), -1);
   result.finalized.assign(faults.size(), 0);
 
+  // Compile once; shared read-only by every worker of every pass.
+  const gate::CompiledSchedule sched(nl);
+  FaultSimEngine engine = opt.engine;
+  if (engine == FaultSimEngine::Auto)
+    engine = gate::GoodTrace::bytes_needed(nl.size(), stimulus.size()) <=
+                     kGoodTraceMemCap
+                 ? FaultSimEngine::Compiled
+                 : FaultSimEngine::FullSweep;
+
   const std::size_t threads = common::resolve_threads(opt.num_threads);
 
   // Progress counts *finalized* faults — detected, or survived the full
@@ -111,11 +183,14 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
 
   // One pass over `indices` with the first `budget` vectors: the
   // 63-fault batches are sharded dynamically across workers, each
-  // owning a private WordSim and writing disjoint detect_cycle entries.
-  // Per-batch survivor lists are concatenated in batch order afterwards,
-  // which makes the returned order — and therefore the batch composition
-  // of the next pass — identical to the sequential engine's for any
-  // thread count.
+  // owning a private executor (gate::WordSim over the shared schedule)
+  // and writing disjoint detect_cycle entries. Per-batch survivor lists
+  // are concatenated in batch order afterwards, which makes the
+  // returned order — and therefore the batch composition of the next
+  // pass — identical to the sequential engine's for any thread count.
+  //
+  // The compiled engine records the good trace once per pass on the
+  // calling thread; batches then touch only their fault cones.
   //
   // Cancellation stops workers at batch boundaries: a batch that never
   // ran leaves its faults unfinalized (and out of the survivor list, so
@@ -123,12 +198,19 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
   // their verdicts — the partial result is valid, just incomplete.
   auto run_pass = [&](const std::vector<std::size_t>& indices,
                       std::size_t budget, bool final_pass) {
+    std::optional<gate::GoodTrace> trace;
+    if (engine == FaultSimEngine::Compiled && !indices.empty()) {
+      trace = gate::record_good_trace(sched, stimulus, budget);
+      result.stats.good_trace_cycles += budget;
+    }
+    const gate::GoodTrace* trace_ptr = trace ? &*trace : nullptr;
+
     const std::size_t num_batches = (indices.size() + kLanes - 1) / kLanes;
     const std::size_t workers =
         std::max<std::size_t>(1, std::min(threads, num_batches));
-    std::vector<gate::WordSim> sims;
-    sims.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) sims.emplace_back(nl);
+    std::vector<Worker> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(sched);
 
     std::vector<std::vector<std::size_t>> batch_survivors(num_batches);
     std::vector<std::uint8_t> batch_ran(num_batches, 0);
@@ -138,12 +220,17 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
           const std::size_t base = b * kLanes;
           const std::size_t count = std::min(kLanes, indices.size() - base);
           std::vector<std::size_t>& survivors = batch_survivors[b];
-          run_batch(sims[worker], faults, stimulus,
-                    {indices.data() + base, count}, budget,
+          run_batch(pool[worker], faults, stimulus,
+                    {indices.data() + base, count}, budget, trace_ptr,
                     result.detect_cycle, survivors);
           batch_ran[b] = 1;
           report_finalized(final_pass ? count : count - survivors.size());
         });
+
+    // Worker-local stats merge after the join; the sums are over the
+    // set of batches that ran, so they are order- and thread-count-
+    // independent on complete runs.
+    for (const Worker& w : pool) result.stats.merge(w.stats);
 
     std::vector<std::size_t> survivors;
     for (std::size_t b = 0; b < num_batches; ++b) {
@@ -177,6 +264,7 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
   for (const std::int32_t c : result.detect_cycle)
     if (c >= 0) ++result.detected;
   result.complete = result.finalized_count() == faults.size();
+  result.stats.engine = engine; // merges may have left a default in place
   return result;
 }
 

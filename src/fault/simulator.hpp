@@ -7,6 +7,24 @@
 // vector budget is exhausted. Detection is observation at the filter's
 // output word with no response compaction — the paper's "no aliasing in
 // the response analyzer" assumption.
+//
+// One shared batch kernel serves every layer: the serial oracle
+// (fault/serial.hpp) is the kernel at one thread on the full-sweep
+// engine, the parallel engine shards the same batches across workers,
+// and campaigns (fault/campaign.hpp) slice the fault universe over
+// repeated kernel calls. Two interchangeable batch engines exist:
+//
+//   * Compiled (default): PPSFP-style good-machine reuse. The netlist
+//     is compiled once (gate/schedule.hpp), the fault-free machine runs
+//     once per pass recording a bit-packed good trace, and each batch
+//     then evaluates only the union of its faults' structural fan-out
+//     cones (closed through registers), reading out-of-cone operands
+//     from the trace. Results are bit-identical to the full sweep —
+//     anything outside the cone provably holds the good value.
+//   * FullSweep: every batch re-evaluates the whole netlist each clock
+//     (the pre-compilation engine). Retained as the differential
+//     reference for the compiled engine, and as the automatic fallback
+//     when the good trace would not fit in memory.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +36,71 @@
 #include "fault/fault.hpp"
 
 namespace fdbist::fault {
+
+/// Which batch engine simulate_faults uses. Verdicts are bit-identical
+/// across engines; only the work per batch differs.
+enum class FaultSimEngine : std::uint8_t {
+  Auto,      ///< Compiled unless the good trace would exceed memory
+  Compiled,  ///< cone-restricted sweep over the compiled schedule
+  FullSweep, ///< whole-netlist sweep per batch (reference engine)
+};
+
+const char* fault_sim_engine_name(FaultSimEngine e);
+
+/// Engine observability: how much work the kernel actually did,
+/// aggregated over batches (and over slices, for campaigns). All
+/// counters are deterministic for a given (netlist, stimulus, faults,
+/// engine) — batch composition never depends on thread count.
+struct FaultSimStats {
+  /// Engine that ran (never Auto in a result).
+  FaultSimEngine engine = FaultSimEngine::Auto;
+  std::uint64_t batches = 0;
+  /// Clock cycles actually stepped across all batches.
+  std::uint64_t cycles_simulated = 0;
+  /// Clock cycles batches were budgeted for; the difference from
+  /// cycles_simulated is early exit (all 63 faults detected).
+  std::uint64_t cycles_budgeted = 0;
+  /// Logic-gate evaluations performed in batch clock loops.
+  std::uint64_t gates_evaluated = 0;
+  /// Logic-gate evaluations a full sweep would have performed for the
+  /// same simulated cycles (= logic gates x cycles_simulated).
+  std::uint64_t gates_full_sweep = 0;
+  /// Fault-free cycles spent recording good traces (compiled engine).
+  std::uint64_t good_trace_cycles = 0;
+  /// Sum over batches of |cone gates| / |logic gates|.
+  double cone_fraction_sum = 0;
+
+  /// Mean fraction of the netlist a batch actually evaluates (1.0 for
+  /// the full-sweep engine).
+  double mean_cone_fraction() const {
+    return batches == 0 ? 1.0 : cone_fraction_sum / double(batches);
+  }
+  /// Mean cycles per batch saved by early exit.
+  double mean_early_exit_cycles() const {
+    return batches == 0
+               ? 0.0
+               : double(cycles_budgeted - cycles_simulated) / double(batches);
+  }
+  /// Fraction of full-sweep gate evaluations the engine skipped.
+  double gate_eval_savings() const {
+    return gates_full_sweep == 0
+               ? 0.0
+               : 1.0 - double(gates_evaluated) / double(gates_full_sweep);
+  }
+
+  /// Accumulate another run's counters (campaign slices, worker-local
+  /// partials). Engines must agree unless one side is empty.
+  void merge(const FaultSimStats& o) {
+    if (batches == 0) engine = o.engine;
+    batches += o.batches;
+    cycles_simulated += o.cycles_simulated;
+    cycles_budgeted += o.cycles_budgeted;
+    gates_evaluated += o.gates_evaluated;
+    gates_full_sweep += o.gates_full_sweep;
+    good_trace_cycles += o.good_trace_cycles;
+    cone_fraction_sum += o.cone_fraction_sum;
+  }
+};
 
 struct FaultSimOptions {
   /// Worker threads the 63-fault batches are sharded across: 0 = one
@@ -44,6 +127,11 @@ struct FaultSimOptions {
   /// valid *partial* FaultSimResult comes back with complete == false.
   /// Coverage-so-far is reported, never discarded.
   const common::CancelToken* cancel = nullptr;
+
+  /// Batch engine. Auto resolves to Compiled unless the recorded good
+  /// trace for the full stimulus would exceed an internal memory cap
+  /// (then FullSweep). Verdicts are bit-identical either way.
+  FaultSimEngine engine = FaultSimEngine::Auto;
 };
 
 struct FaultSimResult {
@@ -60,6 +148,10 @@ struct FaultSimResult {
   /// False iff the run was cut short by the cancellation token — some
   /// faults then carry no verdict and `missed()` overstates misses.
   bool complete = true;
+  /// Engine observability: work done vs. a naive full sweep, mean cone
+  /// fraction, early-exit cycles. Consumed by perf_fault_sim and the
+  /// bench drivers; purely informational, never affects verdicts.
+  FaultSimStats stats;
 
   std::size_t finalized_count() const {
     std::size_t n = 0;

@@ -1,0 +1,146 @@
+#include "gate/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fdbist::gate {
+
+CompiledSchedule::CompiledSchedule(const Netlist& nl) : nl_(nl), n_(nl.size()) {
+  nl_.validate();
+
+  op_.resize(n_);
+  a_.resize(n_);
+  b_.resize(n_);
+  const auto& gates = nl_.gates();
+  for (std::size_t i = 0; i < n_; ++i) {
+    op_[i] = gates[i].op;
+    a_[i] = gates[i].a;
+    b_[i] = gates[i].b;
+    switch (gates[i].op) {
+    case GateOp::Not:
+    case GateOp::And:
+    case GateOp::Or:
+    case GateOp::Xor: ++logic_gates_; break;
+    default: break;
+    }
+  }
+
+  // Fan-out CSR over the successor relation fault effects follow:
+  // operand edges a->g, b->g and the register D->Q edge (closure through
+  // registers). Two-pass counting sort keeps each adjacency list in
+  // ascending target order.
+  reg_of_.assign(n_, -1);
+  const auto& regs = nl_.registers();
+  for (std::size_t r = 0; r < regs.size(); ++r)
+    reg_of_[std::size_t(regs[r].q)] = static_cast<std::int32_t>(r);
+
+  fan_start_.assign(n_ + 1, 0);
+  auto count_edge = [&](NetId src) {
+    if (src != kNoNet) ++fan_start_[std::size_t(src) + 1];
+  };
+  for (std::size_t i = 0; i < n_; ++i) {
+    count_edge(a_[i]);
+    count_edge(b_[i]);
+  }
+  for (const RegBit& r : regs) count_edge(r.d);
+  for (std::size_t i = 0; i < n_; ++i) fan_start_[i + 1] += fan_start_[i];
+
+  fan_.resize(std::size_t(fan_start_[n_]));
+  std::vector<std::int32_t> cursor(fan_start_.begin(), fan_start_.end() - 1);
+  auto put_edge = [&](NetId src, NetId dst) {
+    if (src != kNoNet) fan_[std::size_t(cursor[std::size_t(src)]++)] = dst;
+  };
+  for (std::size_t i = 0; i < n_; ++i) {
+    put_edge(a_[i], static_cast<NetId>(i));
+    put_edge(b_[i], static_cast<NetId>(i));
+  }
+  for (const RegBit& r : regs) put_edge(r.d, r.q);
+  for (std::size_t i = 0; i < n_; ++i)
+    std::sort(fan_.begin() + fan_start_[i], fan_.begin() + fan_start_[i + 1]);
+
+  is_output_.assign(n_, 0);
+  for (const auto& group : nl_.outputs())
+    for (const NetId o : group) is_output_[std::size_t(o)] = 1;
+}
+
+void CompiledSchedule::collect_cone(std::span<const NetId> sites,
+                                    ConeWorkspace& ws, Cone& out) const {
+  out.clear();
+  if (ws.in_cone_.size() != n_) {
+    ws.in_cone_.assign(n_, 0);
+    ws.on_boundary_.assign(n_, 0);
+    ws.epoch_ = 0;
+  }
+  ++ws.epoch_;
+  if (ws.epoch_ == 0) { // stamp wrap: invalidate all stale marks
+    std::fill(ws.in_cone_.begin(), ws.in_cone_.end(), 0u);
+    std::fill(ws.on_boundary_.begin(), ws.on_boundary_.end(), 0u);
+    ws.epoch_ = 1;
+  }
+  const std::uint32_t epoch = ws.epoch_;
+
+  // DFS over the fan-out CSR. Register D->Q edges are ordinary edges
+  // here, which is exactly the "closed transitively through registers"
+  // reachability: a perturbed D pin perturbs next-cycle state, which
+  // perturbs everything reading Q, and so on to a fixpoint.
+  std::vector<NetId>& stack = ws.stack_;
+  stack.clear();
+  for (const NetId s : sites) {
+    FDBIST_ASSERT(s >= 0 && std::size_t(s) < n_, "cone site out of range");
+    if (ws.in_cone_[std::size_t(s)] == epoch) continue;
+    ws.in_cone_[std::size_t(s)] = epoch;
+    stack.push_back(s);
+  }
+  std::vector<NetId> members;
+  members.reserve(stack.size());
+  while (!stack.empty()) {
+    const NetId g = stack.back();
+    stack.pop_back();
+    members.push_back(g);
+    for (const NetId succ : fanout(g)) {
+      if (ws.in_cone_[std::size_t(succ)] == epoch) continue;
+      ws.in_cone_[std::size_t(succ)] = epoch;
+      stack.push_back(succ);
+    }
+  }
+  std::sort(members.begin(), members.end());
+
+  // Decompose: logic gates form the restricted evaluation schedule (in
+  // topological = ascending-id order), in-cone RegOut nets name the
+  // registers whose state must be simulated per lane, and out-of-cone
+  // operands of in-cone gates form the good-trace boundary.
+  for (const NetId g : members) {
+    const auto i = std::size_t(g);
+    switch (op_[i]) {
+    case GateOp::Not:
+    case GateOp::And:
+    case GateOp::Or:
+    case GateOp::Xor: {
+      out.gates.push_back(g);
+      auto note_boundary = [&](NetId src) {
+        if (src == kNoNet || ws.in_cone_[std::size_t(src)] == epoch ||
+            ws.on_boundary_[std::size_t(src)] == epoch)
+          return;
+        ws.on_boundary_[std::size_t(src)] = epoch;
+        out.boundary.push_back(src);
+      };
+      note_boundary(a_[i]);
+      note_boundary(b_[i]);
+      break;
+    }
+    case GateOp::RegOut: {
+      // Reached only via its D->Q edge, so its register's D net is in
+      // the cone too and the per-lane latch has a perturbed source.
+      FDBIST_ASSERT(reg_of_[i] >= 0, "RegOut net without a register");
+      out.regs.push_back(reg_of_[i]);
+      break;
+    }
+    default:
+      FDBIST_ASSERT(false, "cone reached a gate with no structural driver");
+    }
+    if (is_output_[i]) out.outputs.push_back(g);
+  }
+}
+
+} // namespace fdbist::gate

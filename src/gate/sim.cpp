@@ -15,10 +15,13 @@ const char* pin_site_name(PinSite s) {
 }
 
 WordSim::WordSim(const Netlist& nl)
-    : nl_(nl), values_(nl.size(), 0), reg_state_(nl.registers().size(), 0),
-      has_fault_(nl.size(), 0) {
-  nl_.validate();
-}
+    : owned_(std::make_shared<CompiledSchedule>(nl)), sched_(*owned_),
+      nl_(nl), values_(nl.size(), 0), reg_state_(nl.registers().size(), 0),
+      fault_slot_(nl.size(), -1) {}
+
+WordSim::WordSim(const CompiledSchedule& schedule)
+    : sched_(schedule), nl_(schedule.netlist()), values_(nl_.size(), 0),
+      reg_state_(nl_.registers().size(), 0), fault_slot_(nl_.size(), -1) {}
 
 void WordSim::reset() {
   std::fill(values_.begin(), values_.end(), 0);
@@ -26,8 +29,10 @@ void WordSim::reset() {
 }
 
 void WordSim::clear_faults() {
-  for (const auto& [gid, _] : faults_) has_fault_[std::size_t(gid)] = 0;
-  faults_.clear();
+  for (const NetId gid : fault_gates_) fault_slot_[std::size_t(gid)] = -1;
+  fault_gates_.clear();
+  plans_.clear();
+  injected_lanes_ = 0;
 }
 
 void WordSim::add_fault(NetId gid, PinSite site, int stuck,
@@ -40,35 +45,43 @@ void WordSim::add_fault(NetId gid, PinSite site, int stuck,
                  "faults can only be injected on logic gates");
   if (site == PinSite::InputB)
     FDBIST_REQUIRE(op != GateOp::Not, "NOT gates have no second input");
-  faults_[gid].push_back(
-      {site, static_cast<std::uint8_t>(stuck != 0), mask});
-  has_fault_[std::size_t(gid)] = 1;
+  FDBIST_REQUIRE(mask != 0, "fault mask selects no lanes");
+  FDBIST_REQUIRE((mask & injected_lanes_) == 0,
+                 "fault mask overlaps a previously injected fault's lanes "
+                 "(one lane carries one fault; clear_faults() to reuse)");
+
+  std::int32_t& slot = fault_slot_[std::size_t(gid)];
+  if (slot < 0) {
+    slot = static_cast<std::int32_t>(plans_.size());
+    plans_.emplace_back();
+    fault_gates_.push_back(gid);
+  }
+  PinMasks& p = plans_[std::size_t(slot)];
+  switch (site) {
+  case PinSite::InputA: (stuck != 0 ? p.set_a : p.clr_a) |= mask; break;
+  case PinSite::InputB: (stuck != 0 ? p.set_b : p.clr_b) |= mask; break;
+  case PinSite::Output: (stuck != 0 ? p.set_o : p.clr_o) |= mask; break;
+  }
+  injected_lanes_ |= mask;
 }
 
-std::uint64_t WordSim::eval_faulty(NetId id, const Gate& g) const {
-  std::uint64_t va = g.a != kNoNet ? values_[std::size_t(g.a)] : 0;
-  std::uint64_t vb = g.b != kNoNet ? values_[std::size_t(g.b)] : 0;
-  const auto it = faults_.find(id);
-  FDBIST_ASSERT(it != faults_.end(), "has_fault set without fault entry");
-  for (const AppliedFault& f : it->second) {
-    if (f.site == PinSite::InputA)
-      va = f.stuck ? (va | f.mask) : (va & ~f.mask);
-    else if (f.site == PinSite::InputB)
-      vb = f.stuck ? (vb | f.mask) : (vb & ~f.mask);
-  }
+std::uint64_t WordSim::eval_faulty(std::size_t i) const {
+  const PinMasks& p = plans_[std::size_t(fault_slot_[i])];
+  const NetId na = sched_.operand_a()[i];
+  const NetId nb = sched_.operand_b()[i];
+  std::uint64_t va = na != kNoNet ? values_[std::size_t(na)] : 0;
+  std::uint64_t vb = nb != kNoNet ? values_[std::size_t(nb)] : 0;
+  va = (va | p.set_a) & ~p.clr_a;
+  vb = (vb | p.set_b) & ~p.clr_b;
   std::uint64_t v = 0;
-  switch (g.op) {
+  switch (sched_.ops()[i]) {
   case GateOp::Not: v = ~va; break;
   case GateOp::And: v = va & vb; break;
   case GateOp::Or: v = va | vb; break;
   case GateOp::Xor: v = va ^ vb; break;
   default: FDBIST_ASSERT(false, "fault on non-logic gate");
   }
-  for (const AppliedFault& f : it->second) {
-    if (f.site == PinSite::Output)
-      v = f.stuck ? (v | f.mask) : (v & ~f.mask);
-  }
-  return v;
+  return (v | p.set_o) & ~p.clr_o;
 }
 
 void WordSim::step_broadcast(std::span<const std::int64_t> input_raws) {
@@ -87,19 +100,21 @@ void WordSim::step_broadcast(std::span<const std::int64_t> input_raws) {
   for (std::size_t r = 0; r < regs.size(); ++r)
     values_[std::size_t(regs[r].q)] = reg_state_[r];
 
-  // Evaluate combinational gates in topological order.
-  const Gate* gs = nl_.gates().data();
-  const std::size_t n = nl_.size();
+  // Evaluate combinational gates in topological order over the
+  // schedule's SoA arrays.
+  const GateOp* ops = sched_.ops();
+  const NetId* as = sched_.operand_a();
+  const NetId* bs = sched_.operand_b();
+  const std::int32_t* slot = fault_slot_.data();
+  const std::size_t n = sched_.size();
   std::uint64_t* vals = values_.data();
-  const std::uint8_t* hf = has_fault_.data();
   for (std::size_t i = 0; i < n; ++i) {
-    const Gate g = gs[i];
     std::uint64_t v;
-    switch (g.op) {
-    case GateOp::Not: v = ~vals[g.a]; break;
-    case GateOp::And: v = vals[g.a] & vals[g.b]; break;
-    case GateOp::Or: v = vals[g.a] | vals[g.b]; break;
-    case GateOp::Xor: v = vals[g.a] ^ vals[g.b]; break;
+    switch (ops[i]) {
+    case GateOp::Not: v = ~vals[as[i]]; break;
+    case GateOp::And: v = vals[as[i]] & vals[bs[i]]; break;
+    case GateOp::Or: v = vals[as[i]] | vals[bs[i]]; break;
+    case GateOp::Xor: v = vals[as[i]] ^ vals[bs[i]]; break;
     case GateOp::Const0: v = 0; break;
     case GateOp::Const1: v = ~std::uint64_t{0}; break;
     case GateOp::Input:
@@ -107,14 +122,52 @@ void WordSim::step_broadcast(std::span<const std::int64_t> input_raws) {
       continue; // already driven above
     default: v = 0; break;
     }
-    if (hf[i]) [[unlikely]]
-      v = eval_faulty(static_cast<NetId>(i), g);
+    if (slot[i] >= 0) [[unlikely]]
+      v = eval_faulty(i);
     vals[i] = v;
   }
 
   // Latch.
   for (std::size_t r = 0; r < regs.size(); ++r)
     reg_state_[r] = values_[std::size_t(regs[r].d)];
+}
+
+void WordSim::step_cone(const CompiledSchedule::Cone& cone,
+                        const std::uint64_t* good_row) {
+  // Out-of-cone operands hold the good value in every lane.
+  std::uint64_t* vals = values_.data();
+  for (const NetId bnet : cone.boundary)
+    vals[std::size_t(bnet)] = GoodTrace::broadcast(good_row, bnet);
+
+  // Present per-lane state of the in-cone registers.
+  const auto& regs = nl_.registers();
+  for (const std::int32_t r : cone.regs)
+    vals[std::size_t(regs[std::size_t(r)].q)] = reg_state_[std::size_t(r)];
+
+  // Evaluate only the cone, in topological (ascending id) order.
+  const GateOp* ops = sched_.ops();
+  const NetId* as = sched_.operand_a();
+  const NetId* bs = sched_.operand_b();
+  const std::int32_t* slot = fault_slot_.data();
+  for (const NetId g : cone.gates) {
+    const auto i = std::size_t(g);
+    std::uint64_t v;
+    switch (ops[i]) {
+    case GateOp::Not: v = ~vals[as[i]]; break;
+    case GateOp::And: v = vals[as[i]] & vals[bs[i]]; break;
+    case GateOp::Or: v = vals[as[i]] | vals[bs[i]]; break;
+    case GateOp::Xor: v = vals[as[i]] ^ vals[bs[i]]; break;
+    default: v = 0; break; // cones contain only logic gates
+    }
+    if (slot[i] >= 0) [[unlikely]]
+      v = eval_faulty(i);
+    vals[i] = v;
+  }
+
+  // Latch only the in-cone registers (out-of-cone state stays good and
+  // is never read by in-cone gates).
+  for (const std::int32_t r : cone.regs)
+    reg_state_[std::size_t(r)] = values_[std::size_t(regs[std::size_t(r)].d)];
 }
 
 std::uint64_t WordSim::output_mismatch() const {
@@ -129,6 +182,14 @@ std::uint64_t WordSim::output_mismatch() const {
   return diff;
 }
 
+std::uint64_t WordSim::cone_output_mismatch(
+    const CompiledSchedule::Cone& cone, const std::uint64_t* good_row) const {
+  std::uint64_t diff = 0;
+  for (const NetId o : cone.outputs)
+    diff |= values_[std::size_t(o)] ^ GoodTrace::broadcast(good_row, o);
+  return diff;
+}
+
 std::int64_t WordSim::lane_value(const std::vector<NetId>& bit_nets,
                                  int lane) const {
   FDBIST_REQUIRE(lane >= 0 && lane < 64, "lane out of range");
@@ -136,6 +197,33 @@ std::int64_t WordSim::lane_value(const std::vector<NetId>& bit_nets,
   for (std::size_t j = 0; j < bit_nets.size(); ++j)
     raw |= ((values_[std::size_t(bit_nets[j])] >> lane) & 1u) << j;
   return sign_extend(raw, static_cast<int>(bit_nets.size()));
+}
+
+GoodTrace record_good_trace(const CompiledSchedule& schedule,
+                            std::span<const std::int64_t> stimulus,
+                            std::size_t cycles) {
+  FDBIST_REQUIRE(cycles <= stimulus.size(),
+                 "good trace longer than the stimulus");
+  const std::size_t n = schedule.size();
+  GoodTrace trace;
+  trace.words_per_cycle = (n + 63) / 64;
+  trace.cycles = cycles;
+  trace.bits.assign(trace.words_per_cycle * cycles, 0);
+
+  WordSim sim(schedule);
+  for (std::size_t t = 0; t < cycles; ++t) {
+    sim.step_broadcast(stimulus[t]);
+    std::uint64_t* row = trace.bits.data() + t * trace.words_per_cycle;
+    for (std::size_t w = 0; w < trace.words_per_cycle; ++w) {
+      const std::size_t base = w * 64;
+      const std::size_t lim = std::min<std::size_t>(64, n - base);
+      std::uint64_t packed = 0;
+      for (std::size_t j = 0; j < lim; ++j)
+        packed |= (sim.net(static_cast<NetId>(base + j)) & 1u) << j;
+      row[w] = packed;
+    }
+  }
+  return trace;
 }
 
 } // namespace fdbist::gate

@@ -5,14 +5,24 @@
 // injected stuck-at fault each (the classic parallel fault simulation
 // scheme). Inputs are broadcast to all lanes; faults are forced with
 // per-lane masks at specific gate pins.
+//
+// WordSim is a thin executor over a CompiledSchedule (gate/schedule.hpp):
+// the schedule owns the immutable compiled form of the netlist (SoA gate
+// arrays, fan-out CSR, cone extraction) and is shared read-only across
+// simulator instances; the executor owns only mutable per-machine state
+// (net values, register state, the injected fault plan). Two sweeps are
+// offered: step_broadcast evaluates the full netlist, and step_cone
+// evaluates only a batch's fault cone, reading out-of-cone operands from
+// a recorded good-machine trace.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "gate/netlist.hpp"
+#include "gate/schedule.hpp"
 
 namespace fdbist::gate {
 
@@ -23,7 +33,12 @@ const char* pin_site_name(PinSite s);
 
 class WordSim {
 public:
+  /// Compile-and-own convenience: builds a private CompiledSchedule.
   explicit WordSim(const Netlist& nl);
+
+  /// Share an existing schedule (must outlive the simulator). This is
+  /// the cheap path for worker pools: one compilation, many executors.
+  explicit WordSim(const CompiledSchedule& schedule);
 
   /// Clear all register state (and nothing else).
   void reset();
@@ -32,7 +47,11 @@ public:
   void clear_faults();
 
   /// Force `gate`'s `site` pin to `stuck` (0/1) in the lanes of `mask`.
-  /// The gate must be a combinational logic gate.
+  /// The gate must be a combinational logic gate, the mask non-empty,
+  /// and the mask's lanes disjoint from every previously injected
+  /// fault's — one lane simulates one machine, so overlapping masks
+  /// would silently merge two faults into an unintended multi-fault
+  /// machine. clear_faults() releases the lanes.
   void add_fault(NetId gate, PinSite site, int stuck, std::uint64_t mask);
 
   /// One clock: drive each RTL input with a raw word broadcast to all 64
@@ -42,9 +61,25 @@ public:
     step_broadcast({&input_raw, 1});
   }
 
+  /// Cone-restricted clock: evaluate only `cone.gates`, pre-filling the
+  /// cone boundary from `good_row` (one GoodTrace row — the fault-free
+  /// values of every net during this cycle) and latching only
+  /// `cone.regs`. Requires that every injected fault's gate is inside
+  /// the cone and that no fault masks lane 0; under those conditions
+  /// in-cone values are bit-identical to a full step_broadcast sweep.
+  void step_cone(const CompiledSchedule::Cone& cone,
+                 const std::uint64_t* good_row);
+
   /// Lanes whose observed outputs differ from lane 0 this cycle (bit 0 of
   /// the result is always 0).
   std::uint64_t output_mismatch() const;
+
+  /// Cone-restricted mismatch: lanes whose in-cone observed outputs
+  /// differ from the recorded good machine. Out-of-cone outputs cannot
+  /// differ by construction, so this equals output_mismatch() after a
+  /// matching step_cone.
+  std::uint64_t cone_output_mismatch(const CompiledSchedule::Cone& cone,
+                                     const std::uint64_t* good_row) const;
 
   /// Word value of a net.
   std::uint64_t net(NetId id) const { return values_[std::size_t(id)]; }
@@ -54,21 +89,37 @@ public:
                           int lane) const;
 
   const Netlist& netlist() const { return nl_; }
+  const CompiledSchedule& schedule() const { return sched_; }
 
 private:
-  struct AppliedFault {
-    PinSite site;
-    std::uint8_t stuck;
-    std::uint64_t mask;
+  /// Dense per-gate fault plan: set/clear words per pin, applied inline
+  /// in the clock loop with no hash lookup. The disjoint-lane rule in
+  /// add_fault makes set/clear accumulation order-independent.
+  struct PinMasks {
+    std::uint64_t set_a = 0, clr_a = 0;
+    std::uint64_t set_b = 0, clr_b = 0;
+    std::uint64_t set_o = 0, clr_o = 0;
   };
 
-  std::uint64_t eval_faulty(NetId id, const Gate& g) const;
+  std::uint64_t eval_faulty(std::size_t i) const;
 
+  std::shared_ptr<const CompiledSchedule> owned_; ///< null when sharing
+  const CompiledSchedule& sched_;
   const Netlist& nl_;
   std::vector<std::uint64_t> values_;
   std::vector<std::uint64_t> reg_state_;
-  std::vector<std::uint8_t> has_fault_;
-  std::unordered_map<NetId, std::vector<AppliedFault>> faults_;
+  std::vector<std::int32_t> fault_slot_; ///< net -> plan index, -1 = clean
+  std::vector<PinMasks> plans_;
+  std::vector<NetId> fault_gates_; ///< nets with a plan (for clear_faults)
+  std::uint64_t injected_lanes_ = 0;
 };
+
+/// Simulate the fault-free machine over `stimulus[0, cycles)` (single
+/// primary input, as in the fault engine) and record every net's value
+/// each cycle, bit-packed. The trace is immutable afterwards and shared
+/// read-only by every cone-restricted batch of a fault-simulation pass.
+GoodTrace record_good_trace(const CompiledSchedule& schedule,
+                            std::span<const std::int64_t> stimulus,
+                            std::size_t cycles);
 
 } // namespace fdbist::gate

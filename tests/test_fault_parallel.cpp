@@ -82,6 +82,54 @@ TEST(FaultParallel, CoverageCurvesIdenticalAcrossThreadCounts) {
     EXPECT_DOUBLE_EQ(c1[i], c4[i]) << "checkpoint " << checkpoints[i];
 }
 
+// Golden equivalence on the fixture: the default (compiled, cone
+// restricted) engine against the retained full-sweep reference, at every
+// thread count the acceptance criteria name. test_gate_schedule.cpp
+// covers the paper filters; this keeps the cheap oracle next to the
+// other parallel-determinism tests.
+TEST(FaultParallel, CompiledEngineMatchesFullSweepReference) {
+  FaultSimOptions ref;
+  ref.num_threads = 1;
+  ref.engine = FaultSimEngine::FullSweep;
+  const auto golden = simulate_faults(fixture().low.netlist, fixture().stim,
+                                      fixture().faults, ref);
+  EXPECT_EQ(golden.stats.engine, FaultSimEngine::FullSweep);
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+    FaultSimOptions opt;
+    opt.num_threads = threads;
+    opt.engine = FaultSimEngine::Compiled;
+    const auto r = simulate_faults(fixture().low.netlist, fixture().stim,
+                                   fixture().faults, opt);
+    EXPECT_EQ(r.stats.engine, FaultSimEngine::Compiled);
+    EXPECT_EQ(r.detected, golden.detected) << threads << " threads";
+    ASSERT_EQ(r.detect_cycle.size(), golden.detect_cycle.size());
+    for (std::size_t i = 0; i < r.detect_cycle.size(); ++i)
+      ASSERT_EQ(r.detect_cycle[i], golden.detect_cycle[i])
+          << "fault " << i << " with " << threads << " threads";
+    EXPECT_EQ(r.finalized, golden.finalized);
+  }
+}
+
+// The engine-work counters are a pure function of the workload, so they
+// must not wobble with worker interleaving (they feed bench logs and
+// BENCH_fault_sim.json, where nondeterminism would read as a perf
+// change).
+TEST(FaultParallel, EngineStatsDeterministicAcrossThreadCounts) {
+  const auto baseline = run_with(1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const auto r = run_with(threads);
+    EXPECT_EQ(r.stats.engine, baseline.stats.engine);
+    EXPECT_EQ(r.stats.batches, baseline.stats.batches);
+    EXPECT_EQ(r.stats.cycles_simulated, baseline.stats.cycles_simulated);
+    EXPECT_EQ(r.stats.cycles_budgeted, baseline.stats.cycles_budgeted);
+    EXPECT_EQ(r.stats.gates_evaluated, baseline.stats.gates_evaluated);
+    EXPECT_EQ(r.stats.gates_full_sweep, baseline.stats.gates_full_sweep);
+    EXPECT_DOUBLE_EQ(r.stats.cone_fraction_sum,
+                     baseline.stats.cone_fraction_sum);
+  }
+}
+
 TEST(FaultParallel, ProgressIsMonotoneAndComplete) {
   for (const std::size_t threads :
        {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {

@@ -335,6 +335,50 @@ TEST(WordSim, MultipleFaultsOnOneGateCompose) {
   EXPECT_EQ((ws.net(target) >> 3) & 1u, 1u);
 }
 
+TEST(WordSim, RejectsEmptyFaultMask) {
+  rtl::Graph g;
+  const auto a = g.input(fx::Format{3, 0});
+  g.output(g.add(a, g.reg(a), fx::Format{4, 0}));
+  auto low = lower(g);
+  WordSim ws(low.netlist);
+  NetId target = kNoNet;
+  for (std::size_t i = 0; i < low.netlist.size(); ++i)
+    if (low.netlist.gate(static_cast<NetId>(i)).op == GateOp::Xor)
+      target = static_cast<NetId>(i);
+  ASSERT_NE(target, kNoNet);
+  // A mask selecting no lanes is a silently inert fault — a caller bug.
+  EXPECT_THROW(ws.add_fault(target, PinSite::Output, 1, 0),
+               precondition_error);
+}
+
+TEST(WordSim, RejectsOverlappingLaneMasks) {
+  // One lane carries one fault: a second injection reusing a lane would
+  // silently superpose two faults and corrupt that lane's verdict, on
+  // the same gate or any other.
+  rtl::Graph g;
+  const auto a = g.input(fx::Format{3, 0});
+  g.output(g.add(a, g.reg(a), fx::Format{4, 0}));
+  auto low = lower(g);
+  std::vector<NetId> xors;
+  for (std::size_t i = 0; i < low.netlist.size(); ++i)
+    if (low.netlist.gate(static_cast<NetId>(i)).op == GateOp::Xor)
+      xors.push_back(static_cast<NetId>(i));
+  ASSERT_GE(xors.size(), 2u);
+
+  WordSim ws(low.netlist);
+  ws.add_fault(xors[0], PinSite::Output, 1, 0b0110);
+  // Same gate, same site, partially overlapping lanes.
+  EXPECT_THROW(ws.add_fault(xors[0], PinSite::Output, 0, 0b0100),
+               precondition_error);
+  // Different gate, fully contained overlap.
+  EXPECT_THROW(ws.add_fault(xors[1], PinSite::InputA, 1, 0b0010),
+               precondition_error);
+  // Disjoint lanes remain fine, and clear_faults releases every lane.
+  EXPECT_NO_THROW(ws.add_fault(xors[1], PinSite::Output, 0, 0b1000));
+  ws.clear_faults();
+  EXPECT_NO_THROW(ws.add_fault(xors[1], PinSite::Output, 0, 0b0110));
+}
+
 TEST(WordSim, RejectsFaultOnNonLogicGate) {
   rtl::Graph g;
   const auto x = g.input(fx::Format{4, 0});

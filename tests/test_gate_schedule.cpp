@@ -1,0 +1,298 @@
+// The compiled simulation IR (gate/schedule.hpp): SoA arrays must mirror
+// the netlist, the fan-out CSR must match a brute-force scan, cones must
+// equal brute-force reachability closed through registers, and the
+// cone-restricted engine must be bit-identical to the full-sweep
+// reference — on small netlists, randomized lowered netlists, and all
+// three paper filters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "designs/reference.hpp"
+#include "fault/serial.hpp"
+#include "fault/simulator.hpp"
+#include "gate/lower.hpp"
+#include "gate/schedule.hpp"
+#include "gate/sim.hpp"
+#include "rtl/fir_builder.hpp"
+#include "tpg/generators.hpp"
+
+namespace fdbist::gate {
+namespace {
+
+LoweredDesign lowered_fir(const std::vector<double>& coefs,
+                          const char* name) {
+  return lower(rtl::build_fir(coefs, {}, name).graph);
+}
+
+// Brute-force successor scan: every gate reading net `id`, plus the Q
+// net of a register whose D pin is `id`.
+std::set<NetId> brute_fanout(const Netlist& nl, NetId id) {
+  std::set<NetId> out;
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const Gate& g = nl.gate(static_cast<NetId>(i));
+    if (g.a == id || g.b == id) out.insert(static_cast<NetId>(i));
+  }
+  for (const RegBit& r : nl.registers())
+    if (r.d == id) out.insert(r.q);
+  return out;
+}
+
+// Brute-force transitive fan-out closure through registers.
+std::set<NetId> brute_cone(const Netlist& nl, std::vector<NetId> frontier) {
+  std::set<NetId> cone(frontier.begin(), frontier.end());
+  while (!frontier.empty()) {
+    const NetId g = frontier.back();
+    frontier.pop_back();
+    for (const NetId s : brute_fanout(nl, g))
+      if (cone.insert(s).second) frontier.push_back(s);
+  }
+  return cone;
+}
+
+TEST(CompiledSchedule, SoAMirrorsNetlist) {
+  const auto low = lowered_fir({0.3, -0.42, 0.11}, "soa");
+  const CompiledSchedule sched(low.netlist);
+  ASSERT_EQ(sched.size(), low.netlist.size());
+  EXPECT_EQ(sched.logic_gates(), low.netlist.logic_gate_count());
+  for (std::size_t i = 0; i < sched.size(); ++i) {
+    const Gate& g = low.netlist.gate(static_cast<NetId>(i));
+    EXPECT_EQ(sched.ops()[i], g.op);
+    EXPECT_EQ(sched.operand_a()[i], g.a);
+    EXPECT_EQ(sched.operand_b()[i], g.b);
+  }
+}
+
+TEST(CompiledSchedule, FanoutMatchesBruteForce) {
+  const auto low = lowered_fir({0.22, -0.31, 0.085, -0.05}, "fan");
+  const CompiledSchedule sched(low.netlist);
+  for (std::size_t i = 0; i < sched.size(); ++i) {
+    const auto id = static_cast<NetId>(i);
+    const auto expect = brute_fanout(low.netlist, id);
+    const auto got = sched.fanout(id);
+    ASSERT_EQ(got.size(), expect.size()) << "net " << i;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), expect.begin()))
+        << "net " << i;
+  }
+}
+
+TEST(CompiledSchedule, ConeMatchesBruteForceReachability) {
+  const auto low = lowered_fir({0.27, -0.19, 0.13}, "cone");
+  const Netlist& nl = low.netlist;
+  const CompiledSchedule sched(nl);
+  CompiledSchedule::ConeWorkspace ws;
+  CompiledSchedule::Cone cone;
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const auto id = static_cast<NetId>(i);
+    const GateOp op = nl.gate(id).op;
+    if (op != GateOp::Not && op != GateOp::And && op != GateOp::Or &&
+        op != GateOp::Xor)
+      continue;
+    sched.collect_cone({&id, 1}, ws, cone);
+    const auto expect = brute_cone(nl, {id});
+
+    std::set<NetId> got(cone.gates.begin(), cone.gates.end());
+    for (const std::int32_t r : cone.regs)
+      got.insert(nl.registers()[std::size_t(r)].q);
+    EXPECT_EQ(got, expect) << "site " << i;
+
+    // The evaluation schedule is topologically ordered, members only.
+    EXPECT_TRUE(std::is_sorted(cone.gates.begin(), cone.gates.end()));
+    // Every in-cone operand is either in-cone or on the boundary, and
+    // the boundary is disjoint from the cone.
+    std::set<NetId> boundary(cone.boundary.begin(), cone.boundary.end());
+    for (const NetId g : cone.gates) {
+      for (const NetId src : {nl.gate(g).a, nl.gate(g).b}) {
+        if (src == kNoNet) continue;
+        EXPECT_TRUE(expect.count(src) == 1 || boundary.count(src) == 1)
+            << "dangling operand " << src << " of gate " << g;
+        EXPECT_FALSE(expect.count(src) == 1 && boundary.count(src) == 1);
+      }
+    }
+  }
+}
+
+TEST(CompiledSchedule, ConesCloseThroughRegisters) {
+  // In a transposed-form FIR every tap feeds the accumulation chain
+  // through delay registers, so a fault site that reaches any register D
+  // pin must pull the register's Q (and its readers) into the cone.
+  const auto low = lowered_fir({0.4, 0.25, -0.125}, "regs");
+  const Netlist& nl = low.netlist;
+  const CompiledSchedule sched(nl);
+  CompiledSchedule::ConeWorkspace ws;
+  CompiledSchedule::Cone cone;
+  bool saw_register_closure = false;
+  for (std::size_t i = 0; i < nl.size() && !saw_register_closure; ++i) {
+    const auto id = static_cast<NetId>(i);
+    const GateOp op = nl.gate(id).op;
+    if (op != GateOp::And && op != GateOp::Xor && op != GateOp::Or) continue;
+    sched.collect_cone({&id, 1}, ws, cone);
+    if (cone.regs.empty()) continue;
+    saw_register_closure = true;
+    const auto expect = brute_cone(nl, {id});
+    for (const std::int32_t r : cone.regs) {
+      const RegBit& reg = nl.registers()[std::size_t(r)];
+      EXPECT_EQ(expect.count(reg.q), 1u);
+      EXPECT_EQ(expect.count(reg.d), 1u)
+          << "Q in cone requires its D source in cone";
+    }
+  }
+  EXPECT_TRUE(saw_register_closure)
+      << "fixture has no fault site reaching a register";
+}
+
+TEST(GoodTrace, MatchesFullSimulationLaneZero) {
+  const auto low = lowered_fir({0.3, -0.42, 0.11}, "trace");
+  const CompiledSchedule sched(low.netlist);
+  auto gen = tpg::make_generator(tpg::GeneratorKind::LfsrD, 12);
+  const auto stim = gen->generate_raw(48);
+  const auto trace = record_good_trace(sched, stim, stim.size());
+  ASSERT_EQ(trace.cycles, stim.size());
+
+  WordSim sim(sched);
+  for (std::size_t t = 0; t < stim.size(); ++t) {
+    sim.step_broadcast(stim[t]);
+    const std::uint64_t* row = trace.row(t);
+    for (std::size_t i = 0; i < sched.size(); ++i) {
+      const auto id = static_cast<NetId>(i);
+      const std::uint64_t want = sim.net(id) & 1u ? ~std::uint64_t{0} : 0;
+      ASSERT_EQ(GoodTrace::broadcast(row, id), want)
+          << "cycle " << t << " net " << i;
+    }
+  }
+}
+
+// The heart of the refactor: the cone-restricted compiled engine must be
+// bit-identical to the retained full-sweep reference.
+void expect_engines_identical(const Netlist& nl,
+                              std::span<const std::int64_t> stim,
+                              std::span<const fault::Fault> faults,
+                              std::size_t threads) {
+  fault::FaultSimOptions ref;
+  ref.num_threads = threads;
+  ref.engine = fault::FaultSimEngine::FullSweep;
+  fault::FaultSimOptions cone;
+  cone.num_threads = threads;
+  cone.engine = fault::FaultSimEngine::Compiled;
+  const auto a = fault::simulate_faults(nl, stim, faults, ref);
+  const auto b = fault::simulate_faults(nl, stim, faults, cone);
+  EXPECT_EQ(a.stats.engine, fault::FaultSimEngine::FullSweep);
+  EXPECT_EQ(b.stats.engine, fault::FaultSimEngine::Compiled);
+  EXPECT_EQ(a.detected, b.detected);
+  ASSERT_EQ(a.detect_cycle.size(), b.detect_cycle.size());
+  for (std::size_t i = 0; i < a.detect_cycle.size(); ++i)
+    ASSERT_EQ(a.detect_cycle[i], b.detect_cycle[i])
+        << "fault " << i << " at " << threads << " threads";
+  EXPECT_EQ(a.finalized, b.finalized);
+  // The compiled engine must actually restrict: strictly fewer gate
+  // evaluations than the sweep it replaces, same simulated cycles.
+  EXPECT_EQ(a.stats.cycles_simulated, b.stats.cycles_simulated);
+  EXPECT_LT(b.stats.gates_evaluated, b.stats.gates_full_sweep);
+  EXPECT_LE(b.stats.mean_cone_fraction(), 1.0);
+}
+
+TEST(EngineEquivalence, RandomizedLoweredNetlists) {
+  std::mt19937 rng(20260806);
+  std::uniform_real_distribution<double> coef(-0.5, 0.5);
+  std::uniform_int_distribution<int> ntaps(2, 7);
+  for (int design = 0; design < 6; ++design) {
+    std::vector<double> coefs(std::size_t(ntaps(rng)));
+    double l1 = 0.0;
+    for (double& c : coefs) {
+      c = coef(rng);
+      if (c == 0.0) c = 0.25;
+      l1 += std::abs(c);
+    }
+    // The builder requires the coefficient L1 norm (plus truncation
+    // slack) to fit the output format; scale below 1.0.
+    if (l1 > 0.85)
+      for (double& c : coefs) c *= 0.85 / l1;
+    const auto low = lowered_fir(coefs, "rand");
+    const auto faults = fault::enumerate_adder_faults(low);
+    auto gen = tpg::make_generator(tpg::GeneratorKind::LfsrD, 12);
+    const auto stim = gen->generate_raw(96);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}})
+      expect_engines_identical(low.netlist, stim, faults, threads);
+  }
+}
+
+TEST(EngineEquivalence, PaperFiltersAllThreadCounts) {
+  // All three reference designs (Table 1), against a stride-sampled
+  // fault universe so the test spans many batches in seconds: the
+  // acceptance oracle is bit-identity for num_threads in {1, 2, 0}.
+  for (const auto f :
+       {designs::ReferenceFilter::Lowpass, designs::ReferenceFilter::Bandpass,
+        designs::ReferenceFilter::Highpass}) {
+    const auto d = designs::make_reference(f);
+    const auto low = lower(d.graph);
+    const auto all = fault::order_for_simulation(
+        fault::enumerate_adder_faults(low), low.netlist, d.graph);
+    std::vector<fault::Fault> faults;
+    for (std::size_t i = 0; i < all.size(); i += 97) faults.push_back(all[i]);
+    ASSERT_GT(faults.size(), std::size_t{2} * 63);
+    auto gen = tpg::make_generator(tpg::GeneratorKind::LfsrD, 12);
+    const auto stim = gen->generate_raw(160);
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{0}})
+      expect_engines_identical(low.netlist, stim, faults, threads);
+  }
+}
+
+TEST(EngineEquivalence, CarrySaveLowering) {
+  // The carry-save variant doubles the register count — a good stress
+  // of cone closure through (sum, carry) register pairs.
+  const auto d = rtl::build_fir({0.3, -0.42, 0.11, 0.07}, {}, "csa");
+  const auto low = lower_carry_save(d);
+  const auto faults = fault::enumerate_adder_faults(low);
+  tpg::WhiteUniformSource src(12, 7);
+  const auto stim = src.generate_raw(128);
+  expect_engines_identical(low.netlist, stim, faults, 1);
+  expect_engines_identical(low.netlist, stim, faults, 2);
+}
+
+TEST(EngineStats, ReportsWorkDone) {
+  const auto low = lowered_fir({0.27, -0.19, 0.13, 0.094}, "stats");
+  const auto faults = fault::enumerate_adder_faults(low);
+  auto gen = tpg::make_generator(tpg::GeneratorKind::LfsrD, 12);
+  const auto stim = gen->generate_raw(200);
+  const auto r = fault::simulate_faults(low.netlist, stim, faults);
+  const auto& s = r.stats;
+  EXPECT_EQ(s.engine, fault::FaultSimEngine::Compiled);
+  // Stage 1 runs every fault once in 63-wide batches; stage 2 adds a
+  // workload-dependent number of survivor batches on top.
+  EXPECT_GE(s.batches, (faults.size() + 62) / 63);
+  EXPECT_GT(s.cycles_simulated, 0u);
+  EXPECT_GE(s.cycles_budgeted, s.cycles_simulated);
+  EXPECT_GT(s.good_trace_cycles, 0u);
+  EXPECT_LT(s.gates_evaluated, s.gates_full_sweep);
+  EXPECT_GT(s.mean_cone_fraction(), 0.0);
+  EXPECT_LT(s.mean_cone_fraction(), 1.0);
+  EXPECT_GT(s.gate_eval_savings(), 0.0);
+}
+
+TEST(EngineStats, DeterministicAcrossThreadCounts) {
+  const auto low = lowered_fir({0.22, -0.31, 0.085, -0.05, 0.03}, "det");
+  const auto faults = fault::enumerate_adder_faults(low);
+  auto gen = tpg::make_generator(tpg::GeneratorKind::Lfsr1, 12);
+  const auto stim = gen->generate_raw(256);
+  fault::FaultSimOptions o1;
+  o1.num_threads = 1;
+  const auto r1 = fault::simulate_faults(low.netlist, stim, faults, o1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{0}}) {
+    fault::FaultSimOptions on;
+    on.num_threads = threads;
+    const auto rn = fault::simulate_faults(low.netlist, stim, faults, on);
+    EXPECT_EQ(rn.stats.batches, r1.stats.batches);
+    EXPECT_EQ(rn.stats.cycles_simulated, r1.stats.cycles_simulated);
+    EXPECT_EQ(rn.stats.cycles_budgeted, r1.stats.cycles_budgeted);
+    EXPECT_EQ(rn.stats.gates_evaluated, r1.stats.gates_evaluated);
+    EXPECT_EQ(rn.stats.gates_full_sweep, r1.stats.gates_full_sweep);
+    EXPECT_DOUBLE_EQ(rn.stats.cone_fraction_sum, r1.stats.cone_fraction_sum);
+  }
+}
+
+} // namespace
+} // namespace fdbist::gate
