@@ -8,6 +8,8 @@
 //                            [--resume] [--deadline-s S]
 //   fdbist_cli [--threads N] spectra  <generator> [samples]
 //   fdbist_cli [--threads N] export   <lp|bp|hp> <verilog|dot>
+//   fdbist_cli fuzz [--seed N] [--cases N] [--corpus DIR]
+//                   [--minimize 0|1] [--mutate K]
 //
 // Generators: lfsr1 lfsr2 lfsrd lfsrm ramp mixed.
 // --threads N shards fault simulation across N workers (0 = one per
@@ -20,8 +22,17 @@
 // an uninterrupted run), and --deadline-s stops workers gracefully at
 // batch boundaries, reporting coverage-so-far.
 //
+// `fuzz` runs the differential verification subsystem (src/verify/):
+// replay the corpus, then `--cases` fresh random cases through every
+// redundant evaluation path (RTL vs gate sim, Compiled vs FullSweep
+// fault engines, sliced campaigns, property checkers). Failures are
+// delta-debugged to minimal reproducers and written to --corpus.
+// --mutate K injects a deliberate kernel mutation into every case (the
+// oracle self-test: the run MUST end with findings and exit 4).
+//
 // Exit codes: 0 success, 1 runtime error, 2 bad usage, 3 partial result
-// (campaign stopped by deadline or cancellation before finishing).
+// (campaign stopped by deadline or cancellation before finishing),
+// 4 fuzz discrepancy (the differential oracle found a mismatch).
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -42,6 +53,7 @@
 #include "gate/verilog.hpp"
 #include "rtl/dot_export.hpp"
 #include "tpg/generators.hpp"
+#include "verify/fuzz.hpp"
 
 namespace {
 
@@ -68,10 +80,13 @@ int usage() {
                "  fdbist_cli [--threads N] spectra  <generator> [samples]\n"
                "  fdbist_cli [--threads N] export   <lp|bp|hp> "
                "<verilog|dot>\n"
+               "  fdbist_cli fuzz [--seed N] [--cases N] [--corpus DIR]\n"
+               "                  [--minimize 0|1] [--mutate K]\n"
                "generators: lfsr1 lfsr2 lfsrd lfsrm ramp mixed\n"
                "--threads N: fault-sim worker threads (0 = one per "
                "hardware thread; results identical for any N)\n"
-               "exit codes: 0 ok, 1 error, 2 usage, 3 partial campaign\n");
+               "exit codes: 0 ok, 1 error, 2 usage, 3 partial campaign, "
+               "4 fuzz discrepancy\n");
   return 2;
 }
 
@@ -277,6 +292,68 @@ int cmd_campaign(int argc, char** argv) {
   return 0;
 }
 
+int cmd_fuzz(int argc, char** argv) {
+  verify::FuzzOptions fopt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      const auto seed = arg_size(argv[++i], "--seed");
+      if (!seed) return usage();
+      fopt.seed = static_cast<std::uint64_t>(*seed);
+    } else if (std::strcmp(argv[i], "--cases") == 0 && i + 1 < argc) {
+      const auto cases = arg_size(argv[++i], "--cases", 1, 1u << 24);
+      if (!cases) return usage();
+      fopt.cases = *cases;
+    } else if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc) {
+      fopt.corpus_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--minimize") == 0 && i + 1 < argc) {
+      const auto flag = arg_size(argv[++i], "--minimize", 0, 1);
+      if (!flag) return usage();
+      fopt.minimize = *flag != 0;
+    } else if (std::strcmp(argv[i], "--mutate") == 0 && i + 1 < argc) {
+      const auto k = arg_size(argv[++i], "--mutate", 0, 1u << 20);
+      if (!k) return usage();
+      fopt.mutate = static_cast<std::int32_t>(*k);
+    } else {
+      std::fprintf(stderr, "fdbist_cli: unknown fuzz flag \"%s\"\n",
+                   argv[i]);
+      return usage();
+    }
+  }
+  if (isatty(fileno(stderr)) != 0) {
+    fopt.progress = [](std::size_t done, std::size_t total) {
+      if (done % 64 == 0 || done == total) {
+        std::fprintf(stderr, "\r  [fuzz] %zu/%zu cases", done, total);
+        if (done == total) std::fprintf(stderr, "\n");
+        std::fflush(stderr);
+      }
+    };
+  }
+
+  const auto report = verify::run_fuzz(fopt);
+  std::printf("fuzz: seed %llu, %zu cases, %zu corpus replayed, "
+              "%zu findings, %zu io errors\n",
+              static_cast<unsigned long long>(fopt.seed), report.cases_run,
+              report.corpus_replayed, report.findings.size(),
+              report.io_errors.size());
+  for (const std::string& e : report.io_errors)
+    std::printf("  io: %s\n", e.c_str());
+  for (const auto& f : report.findings) {
+    std::printf("  [%s%s] %s\n", verify::case_kind_name(f.kind),
+                f.from_corpus ? ", corpus" : "", f.detail.c_str());
+    if (f.case_seed != 0)
+      std::printf("    case seed %llu\n",
+                  static_cast<unsigned long long>(f.case_seed));
+    if (f.minimized_logic_gates > 0)
+      std::printf("    minimized to %zu logic gates (%zu oracle calls)\n",
+                  f.minimized_logic_gates,
+                  f.minimize_stats.predicate_calls);
+    if (!f.corpus_path.empty())
+      std::printf("    reproducer: %s\n", f.corpus_path.c_str());
+  }
+  if (!report.findings.empty()) return 4;
+  return report.io_errors.empty() ? 0 : 1;
+}
+
 int cmd_spectra(int argc, char** argv) {
   if (argc < 2) return usage();
   std::size_t samples = std::size_t{1} << 14;
@@ -343,6 +420,8 @@ int main(int argc, char** argv) {
       return cmd_spectra(argc - 1, argv + 1);
     if (std::strcmp(argv[1], "export") == 0)
       return cmd_export(argc - 1, argv + 1);
+    if (std::strcmp(argv[1], "fuzz") == 0)
+      return cmd_fuzz(argc - 1, argv + 1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

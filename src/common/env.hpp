@@ -1,0 +1,58 @@
+// Environment-driven test configuration.
+//
+// Every randomized suite derives its seeds through test_seed() so one
+// environment variable re-randomizes the whole repository:
+//
+//   FDBIST_TEST_SEED=12345 ctest ...
+//
+// Unset, each call site keeps its historical fixed seed (bit-identical
+// CI runs). Set, the override is mixed with the call site's fallback so
+// distinct sites still explore distinct streams, and failures stay
+// reproducible by re-exporting the same value. Tests must print the
+// effective seed in their failure messages; seed_note() builds the
+// conventional text.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/parse.hpp"
+
+namespace fdbist::common {
+
+/// SplitMix64 finalizer: avalanche a seed into an independent stream.
+constexpr std::uint64_t mix_seed(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Effective seed for a randomized test: `fallback` unless
+/// FDBIST_TEST_SEED is set, in which case the override is mixed with
+/// the fallback (so two suites sharing a fallback of 1 still diverge).
+/// A malformed override is a hard usage error — silently falling back
+/// would un-reproduce the failure the user is chasing.
+inline std::uint64_t test_seed(std::uint64_t fallback) {
+  const char* s = std::getenv("FDBIST_TEST_SEED");
+  if (s == nullptr || s[0] == '\0') return fallback;
+  const auto v = parse_size(s, "FDBIST_TEST_SEED");
+  if (!v) {
+    std::fprintf(stderr, "fdbist: %s\n", v.error().to_string().c_str());
+    std::exit(2);
+  }
+  return mix_seed(static_cast<std::uint64_t>(*v) ^ mix_seed(fallback));
+}
+
+/// "seed 42 (set FDBIST_TEST_SEED to reproduce an override run)" — the
+/// text every randomized test attaches to its assertions.
+inline std::string seed_note(std::uint64_t seed) {
+  return "seed " + std::to_string(seed) +
+         (std::getenv("FDBIST_TEST_SEED") != nullptr
+              ? " (derived from FDBIST_TEST_SEED)"
+              : " (override with FDBIST_TEST_SEED)");
+}
+
+} // namespace fdbist::common

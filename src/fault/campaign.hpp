@@ -43,6 +43,13 @@ struct CampaignOptions {
   /// Worker threads per slice (same contract as FaultSimOptions).
   std::size_t num_threads = 0;
 
+  /// Simulation engine per slice (same contract as FaultSimOptions).
+  /// Deliberately NOT part of the checkpoint fingerprint: verdicts are a
+  /// pure function of (netlist, stimulus, fault), so a campaign may be
+  /// resumed under a different engine than the one that wrote the
+  /// checkpoint and the merged result stays bit-identical.
+  FaultSimEngine engine = FaultSimEngine::Auto;
+
   /// Faults per checkpoint slice; a checkpoint is written after each
   /// slice is finalized. Smaller = finer-grained resume, more writes.
   std::size_t checkpoint_every = 4096;

@@ -1,0 +1,335 @@
+#include "verify/corpus.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fdbist::verify {
+
+namespace {
+
+const char* op_token(rtl::OpKind k) {
+  switch (k) {
+  case rtl::OpKind::Add: return "add";
+  case rtl::OpKind::Sub: return "sub";
+  case rtl::OpKind::Scale: return "scale";
+  case rtl::OpKind::Resize: return "resize";
+  case rtl::OpKind::Reg: return "reg";
+  default: return "const"; // Input/Output never appear in a spec
+  }
+}
+
+bool op_from_token(const std::string& t, rtl::OpKind& out) {
+  if (t == "add") out = rtl::OpKind::Add;
+  else if (t == "sub") out = rtl::OpKind::Sub;
+  else if (t == "scale") out = rtl::OpKind::Scale;
+  else if (t == "resize") out = rtl::OpKind::Resize;
+  else if (t == "reg") out = rtl::OpKind::Reg;
+  else if (t == "const") out = rtl::OpKind::Const;
+  else return false;
+  return true;
+}
+
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+Error corrupt(const std::string& why) {
+  return Error{ErrorCode::CorruptCheckpoint, "corpus: " + why};
+}
+
+/// Pulls whitespace-separated tokens off an istringstream-backed view of
+/// the case body, tracking position for error messages.
+class TokenReader {
+public:
+  explicit TokenReader(const std::string& text) : in_(text) {}
+
+  Expected<std::string> word(const char* what) {
+    std::string t;
+    if (!(in_ >> t)) return corrupt(std::string("missing ") + what);
+    return t;
+  }
+
+  Expected<std::int64_t> integer(const char* what) {
+    auto t = word(what);
+    if (!t) return t.error();
+    std::istringstream is(*t);
+    std::int64_t v = 0;
+    char trailing = '\0';
+    if (!(is >> v) || is >> trailing)
+      return corrupt(std::string("bad integer for ") + what + ": \"" + *t +
+                     "\"");
+    return v;
+  }
+
+  Expected<double> real(const char* what) {
+    auto t = word(what);
+    if (!t) return t.error();
+    char* end = nullptr;
+    const double v = std::strtod(t->c_str(), &end);
+    if (end == t->c_str() || *end != '\0')
+      return corrupt(std::string("bad real for ") + what + ": \"" + *t +
+                     "\"");
+    return v;
+  }
+
+  /// Rest of the current line, trimmed of the leading space.
+  std::string line() {
+    std::string s;
+    std::getline(in_, s);
+    if (!s.empty() && s.front() == ' ') s.erase(0, 1);
+    if (!s.empty() && s.back() == '\r') s.pop_back();
+    return s;
+  }
+
+private:
+  std::istringstream in_;
+};
+
+Expected<std::int64_t> counted(TokenReader& r, const char* what,
+                               std::int64_t max) {
+  auto n = r.integer(what);
+  if (!n) return n;
+  if (*n < 0 || *n > max)
+    return corrupt(std::string("unreasonable count for ") + what + ": " +
+                   std::to_string(*n));
+  return n;
+}
+
+} // namespace
+
+std::string format_case(const CorpusCase& c) {
+  std::ostringstream os;
+  os << "fdbist-corpus v1\n";
+  os << "kind " << case_kind_name(c.kind) << "\n";
+  // `detail` is free text; keep it on one line so the parser can treat
+  // everything after the key as the value.
+  std::string detail = c.detail;
+  std::replace(detail.begin(), detail.end(), '\n', ' ');
+  os << "detail " << detail << "\n";
+  if (c.kind == CaseKind::Rtl) {
+    const RtlCase& r = c.rtl;
+    os << "input_width " << r.input_width << "\n";
+    os << "mutate " << r.mutate << "\n";
+    os << "ops " << r.ops.size() << "\n";
+    for (const OpSpec& op : r.ops)
+      os << "  " << op_token(op.kind) << " " << op.a << " " << op.b << " "
+         << op.width << " " << op.frac_delta << " " << op.shift << " "
+         << op.cval << "\n";
+    os << "stimulus " << r.stimulus.size() << "\n";
+    for (const std::int64_t v : r.stimulus) os << "  " << v << "\n";
+  } else {
+    const FilterCase& f = c.filter;
+    os << "input_width " << f.input_width << "\n";
+    os << "coef_width " << f.coef_width << "\n";
+    os << "generator " << int(f.generator) << "\n";
+    os << "vectors " << f.vectors << "\n";
+    os << "mutate " << f.mutate << "\n";
+    os << "coefs " << f.coefs.size() << "\n";
+    for (const double v : f.coefs) os << "  " << hex_double(v) << "\n";
+    os << "fault_indices " << f.fault_indices.size() << "\n";
+    for (const std::uint32_t v : f.fault_indices) os << "  " << v << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+Expected<CorpusCase> parse_case(const std::string& text) {
+  TokenReader r(text);
+  {
+    auto magic = r.word("magic");
+    if (!magic) return magic.error();
+    auto version = r.word("version");
+    if (!version) return version.error();
+    if (*magic != "fdbist-corpus" || *version != "v1")
+      return corrupt("bad header \"" + *magic + " " + *version + "\"");
+  }
+
+  CorpusCase c;
+  {
+    auto key = r.word("kind key");
+    if (!key || *key != "kind") return corrupt("expected 'kind'");
+    auto kind = r.word("kind");
+    if (!kind) return kind.error();
+    if (*kind == "rtl") c.kind = CaseKind::Rtl;
+    else if (*kind == "filter") c.kind = CaseKind::Filter;
+    else return corrupt("unknown kind \"" + *kind + "\"");
+  }
+  {
+    auto key = r.word("detail key");
+    if (!key || *key != "detail") return corrupt("expected 'detail'");
+    c.detail = r.line();
+  }
+
+  auto expect_int = [&](const char* key) -> Expected<std::int64_t> {
+    auto k = r.word(key);
+    if (!k) return k.error();
+    if (*k != key)
+      return corrupt(std::string("expected '") + key + "', got \"" + *k +
+                     "\"");
+    return r.integer(key);
+  };
+
+  if (c.kind == CaseKind::Rtl) {
+    RtlCase& rc = c.rtl;
+    if (auto v = expect_int("input_width"); v)
+      rc.input_width = static_cast<std::int32_t>(*v);
+    else
+      return v.error();
+    if (auto v = expect_int("mutate"); v)
+      rc.mutate = static_cast<std::int32_t>(*v);
+    else
+      return v.error();
+
+    {
+      auto k = r.word("ops");
+      if (!k || *k != "ops") return corrupt("expected 'ops'");
+      auto n = counted(r, "ops", 1 << 20);
+      if (!n) return n.error();
+      rc.ops.reserve(static_cast<std::size_t>(*n));
+      for (std::int64_t i = 0; i < *n; ++i) {
+        OpSpec op;
+        auto t = r.word("op kind");
+        if (!t) return t.error();
+        if (!op_from_token(*t, op.kind))
+          return corrupt("unknown op \"" + *t + "\"");
+        auto a = r.integer("op.a");
+        auto b = r.integer("op.b");
+        auto w = r.integer("op.width");
+        auto fd = r.integer("op.frac_delta");
+        auto sh = r.integer("op.shift");
+        auto cv = r.integer("op.cval");
+        if (!a || !b || !w || !fd || !sh || !cv)
+          return corrupt("truncated op " + std::to_string(i));
+        op.a = static_cast<std::uint32_t>(*a);
+        op.b = static_cast<std::uint32_t>(*b);
+        op.width = static_cast<std::int32_t>(*w);
+        op.frac_delta = static_cast<std::int32_t>(*fd);
+        op.shift = static_cast<std::int32_t>(*sh);
+        op.cval = *cv;
+        rc.ops.push_back(op);
+      }
+    }
+    {
+      auto k = r.word("stimulus");
+      if (!k || *k != "stimulus") return corrupt("expected 'stimulus'");
+      auto n = counted(r, "stimulus", 1 << 24);
+      if (!n) return n.error();
+      rc.stimulus.reserve(static_cast<std::size_t>(*n));
+      for (std::int64_t i = 0; i < *n; ++i) {
+        auto v = r.integer("stimulus word");
+        if (!v) return v.error();
+        rc.stimulus.push_back(*v);
+      }
+    }
+  } else {
+    FilterCase& fc = c.filter;
+    if (auto v = expect_int("input_width"); v)
+      fc.input_width = static_cast<std::int32_t>(*v);
+    else
+      return v.error();
+    if (auto v = expect_int("coef_width"); v)
+      fc.coef_width = static_cast<std::int32_t>(*v);
+    else
+      return v.error();
+    if (auto v = expect_int("generator"); v)
+      fc.generator = static_cast<std::uint8_t>(*v);
+    else
+      return v.error();
+    if (auto v = expect_int("vectors"); v)
+      fc.vectors = static_cast<std::uint32_t>(*v);
+    else
+      return v.error();
+    if (auto v = expect_int("mutate"); v)
+      fc.mutate = static_cast<std::int32_t>(*v);
+    else
+      return v.error();
+    {
+      auto k = r.word("coefs");
+      if (!k || *k != "coefs") return corrupt("expected 'coefs'");
+      auto n = counted(r, "coefs", 1 << 16);
+      if (!n) return n.error();
+      fc.coefs.clear();
+      for (std::int64_t i = 0; i < *n; ++i) {
+        auto v = r.real("coef");
+        if (!v) return v.error();
+        fc.coefs.push_back(*v);
+      }
+    }
+    {
+      auto k = r.word("fault_indices");
+      if (!k || *k != "fault_indices")
+        return corrupt("expected 'fault_indices'");
+      auto n = counted(r, "fault_indices", 1 << 20);
+      if (!n) return n.error();
+      fc.fault_indices.clear();
+      for (std::int64_t i = 0; i < *n; ++i) {
+        auto v = r.integer("fault index");
+        if (!v) return v.error();
+        fc.fault_indices.push_back(static_cast<std::uint32_t>(*v));
+      }
+    }
+  }
+
+  auto trailer = r.word("trailer");
+  if (!trailer || *trailer != "end") return corrupt("missing 'end' trailer");
+  return c;
+}
+
+Expected<void> save_case(const std::string& path, const CorpusCase& c) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent, ec);
+    if (ec)
+      return Error{ErrorCode::Io, "corpus: cannot create " +
+                                      parent.string() + ": " + ec.message()};
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out)
+    return Error{ErrorCode::Io, "corpus: cannot open " + path + " for write"};
+  out << format_case(c);
+  out.flush();
+  if (!out)
+    return Error{ErrorCode::Io, "corpus: write to " + path + " failed"};
+  return {};
+}
+
+Expected<CorpusCase> load_case(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error{ErrorCode::Io, "corpus: cannot open " + path};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = parse_case(buf.str());
+  if (!parsed)
+    return Error{parsed.error().code,
+                 path + ": " + parsed.error().message};
+  return parsed;
+}
+
+std::string case_filename(CaseKind kind, std::uint64_t seed) {
+  return std::string(case_kind_name(kind)) + "-" + std::to_string(seed) +
+         ".case";
+}
+
+Expected<std::vector<std::string>> list_corpus(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) return out;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec)
+    return Error{ErrorCode::Io,
+                 "corpus: cannot list " + dir + ": " + ec.message()};
+  for (const auto& entry : it) {
+    if (entry.is_regular_file() && entry.path().extension() == ".case")
+      out.push_back(entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+} // namespace fdbist::verify

@@ -1,0 +1,296 @@
+#include "verify/minimize.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fdbist::verify {
+
+namespace {
+
+void count_call(MinimizeStats* stats) {
+  if (stats != nullptr) ++stats->predicate_calls;
+}
+
+/// Generic ddmin over a length-`n` index set: repeatedly try removing
+/// chunks (halving granularity down to single elements); `attempt`
+/// returns true when the case built from the kept indices still fails,
+/// in which case the removal is committed.
+std::vector<std::size_t> ddmin_indices(
+    std::size_t n,
+    const std::function<bool(const std::vector<std::size_t>&)>& attempt) {
+  std::vector<std::size_t> keep(n);
+  std::iota(keep.begin(), keep.end(), std::size_t{0});
+  std::size_t chunk = std::max<std::size_t>(1, n / 2);
+  while (!keep.empty()) {
+    bool removed_any = false;
+    for (std::size_t start = 0; start < keep.size();) {
+      const std::size_t end = std::min(keep.size(), start + chunk);
+      std::vector<std::size_t> trial;
+      trial.reserve(keep.size() - (end - start));
+      trial.insert(trial.end(), keep.begin(),
+                   keep.begin() + std::ptrdiff_t(start));
+      trial.insert(trial.end(), keep.begin() + std::ptrdiff_t(end),
+                   keep.end());
+      if (attempt(trial)) {
+        keep = std::move(trial);
+        removed_any = true; // retry same position with the shrunk list
+      } else {
+        start = end;
+      }
+    }
+    if (chunk == 1) {
+      if (!removed_any) break;
+    } else {
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+  }
+  return keep;
+}
+
+} // namespace
+
+RtlCase drop_ops(const RtlCase& c, const std::vector<std::size_t>& keep) {
+  RtlCase out = c;
+  out.ops.clear();
+  // remap[p] = new pool index for old pool index p (0 = input). Dropped
+  // ops forward to their first operand's mapping, so surviving users
+  // reconnect to the nearest surviving ancestor.
+  std::vector<std::uint32_t> remap(c.ops.size() + 1, 0);
+  std::size_t k = 0; // cursor into keep (sorted)
+  for (std::size_t i = 0; i < c.ops.size(); ++i) {
+    const OpSpec& op = c.ops[i];
+    const std::uint32_t a =
+        remap[std::min<std::size_t>(op.a, i)]; // clamp like build_graph
+    if (k < keep.size() && keep[k] == i) {
+      OpSpec kept = op;
+      kept.a = a;
+      kept.b = remap[std::min<std::size_t>(op.b, i)];
+      out.ops.push_back(kept);
+      remap[i + 1] = static_cast<std::uint32_t>(out.ops.size());
+      ++k;
+    } else {
+      remap[i + 1] = a; // forward through the dropped op
+    }
+  }
+  return out;
+}
+
+RtlCase minimize_rtl_case(RtlCase c, const RtlPredicate& fails,
+                          MinimizeStats* stats) {
+  auto check = [&](const RtlCase& t) {
+    count_call(stats);
+    return fails(t);
+  };
+
+  for (std::size_t round = 0; round < 8; ++round) {
+    if (stats != nullptr) stats->rounds = round + 1;
+    bool changed = false;
+
+    // 1. Truncate the stimulus to the shortest failing prefix. The
+    // failure cycle is monotone in prefix length (a divergence at cycle
+    // t is unaffected by later vectors), so binary search applies.
+    {
+      std::size_t lo = 1, hi = c.stimulus.size();
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        RtlCase t = c;
+        t.stimulus.resize(mid);
+        if (check(t))
+          hi = mid;
+        else
+          lo = mid + 1;
+      }
+      if (hi < c.stimulus.size()) {
+        c.stimulus.resize(hi);
+        changed = true;
+      }
+    }
+
+    // 2. ddmin over the op list with operand remapping.
+    {
+      const std::size_t before = c.ops.size();
+      const auto keep = ddmin_indices(
+          c.ops.size(), [&](const std::vector<std::size_t>& trial) {
+            return check(drop_ops(c, trial));
+          });
+      if (keep.size() < before) {
+        c = drop_ops(c, keep);
+        changed = true;
+      }
+    }
+
+    // 3. Per-op cone extraction: keep only one op's transitive operand
+    // closure. Tried smallest-closure-first; the first failing cone
+    // wins. This is the move that collapses a 40-op case onto the few
+    // ops actually feeding the divergence.
+    {
+      std::vector<std::vector<std::size_t>> cones(c.ops.size());
+      for (std::size_t i = 0; i < c.ops.size(); ++i) {
+        std::vector<char> in_cone(c.ops.size(), 0);
+        std::vector<std::size_t> work{i};
+        in_cone[i] = 1;
+        while (!work.empty()) {
+          const OpSpec& op = c.ops[work.back()];
+          work.pop_back();
+          for (const std::uint32_t p : {op.a, op.b}) {
+            if (p == 0 || p > c.ops.size()) continue; // input or clamped
+            if (in_cone[p - 1] == 0) {
+              in_cone[p - 1] = 1;
+              work.push_back(p - 1);
+            }
+          }
+        }
+        for (std::size_t j = 0; j < c.ops.size(); ++j)
+          if (in_cone[j] != 0) cones[i].push_back(j);
+      }
+      std::vector<std::size_t> order(c.ops.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t x, std::size_t y) {
+                  return cones[x].size() < cones[y].size();
+                });
+      for (const std::size_t root : order) {
+        if (cones[root].size() >= c.ops.size()) break;
+        const RtlCase t = drop_ops(c, cones[root]);
+        if (check(t)) {
+          c = t;
+          changed = true;
+          break;
+        }
+      }
+    }
+
+    // 4. Width reduction: narrow ops (and the input) as far as failure
+    // allows — narrower adders lower to fewer full-adder cells.
+    for (std::size_t i = 0; i < c.ops.size(); ++i) {
+      for (const std::int32_t w : {2, 3, 4, 6}) {
+        if (c.ops[i].width <= w) break;
+        RtlCase t = c;
+        t.ops[i].width = w;
+        if (check(t)) {
+          c = t;
+          changed = true;
+          break;
+        }
+      }
+    }
+    for (const std::int32_t w : {2, 3, 4, 6}) {
+      if (c.input_width <= w) break;
+      RtlCase t = c;
+      t.input_width = w;
+      if (check(t)) {
+        c = t;
+        changed = true;
+        break;
+      }
+    }
+
+    // 5. Stimulus simplification: zero out values (a zeroed word also
+    // reads as "irrelevant to the failure" in the corpus file).
+    for (std::size_t i = 0; i < c.stimulus.size(); ++i) {
+      if (c.stimulus[i] == 0) continue;
+      RtlCase t = c;
+      t.stimulus[i] = 0;
+      if (check(t)) {
+        c = t;
+        changed = true;
+      }
+    }
+
+    if (!changed) break;
+  }
+  return c;
+}
+
+FilterCase minimize_filter_case(FilterCase c, const FilterPredicate& fails,
+                                MinimizeStats* stats) {
+  auto check = [&](const FilterCase& t) {
+    count_call(stats);
+    return fails(t);
+  };
+
+  for (std::size_t round = 0; round < 6; ++round) {
+    if (stats != nullptr) stats->rounds = round + 1;
+    bool changed = false;
+
+    // Shortest failing vector budget (failure monotone in prefix).
+    {
+      std::uint32_t lo = 1, hi = c.vectors;
+      while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo) / 2;
+        FilterCase t = c;
+        t.vectors = mid;
+        if (check(t))
+          hi = mid;
+        else
+          lo = mid + 1;
+      }
+      if (hi < c.vectors) {
+        c.vectors = hi;
+        changed = true;
+      }
+    }
+
+    // ddmin over the coefficient list (smaller filter, fewer gates).
+    {
+      const std::size_t before = c.coefs.size();
+      const auto keep = ddmin_indices(
+          c.coefs.size(), [&](const std::vector<std::size_t>& trial) {
+            if (trial.empty()) return false;
+            FilterCase t = c;
+            t.coefs.clear();
+            for (const std::size_t i : trial) t.coefs.push_back(c.coefs[i]);
+            return check(t);
+          });
+      if (keep.size() < before && !keep.empty()) {
+        FilterCase t = c;
+        t.coefs.clear();
+        for (const std::size_t i : keep) t.coefs.push_back(c.coefs[i]);
+        c = t;
+        changed = true;
+      }
+    }
+
+    // ddmin over the fault sample — ideally down to a single fault.
+    if (!c.fault_indices.empty()) {
+      const std::size_t before = c.fault_indices.size();
+      const auto keep = ddmin_indices(
+          c.fault_indices.size(),
+          [&](const std::vector<std::size_t>& trial) {
+            if (trial.empty()) return false;
+            FilterCase t = c;
+            t.fault_indices.clear();
+            for (const std::size_t i : trial)
+              t.fault_indices.push_back(c.fault_indices[i]);
+            return check(t);
+          });
+      if (keep.size() < before && !keep.empty()) {
+        FilterCase t = c;
+        t.fault_indices.clear();
+        for (const std::size_t i : keep)
+          t.fault_indices.push_back(c.fault_indices[i]);
+        c = t;
+        changed = true;
+      }
+    }
+
+    // Narrow the datapath.
+    for (std::int32_t* w : {&c.input_width, &c.coef_width}) {
+      for (const std::int32_t target : {6, 8, 10}) {
+        if (*w <= target) break;
+        FilterCase t = c;
+        *(w == &c.input_width ? &t.input_width : &t.coef_width) = target;
+        if (check(t)) {
+          *w = target;
+          changed = true;
+          break;
+        }
+      }
+    }
+
+    if (!changed) break;
+  }
+  return c;
+}
+
+} // namespace fdbist::verify

@@ -1,0 +1,48 @@
+// Delta-debugging case minimizer.
+//
+// Given a failing case and a predicate ("does the oracle still reject
+// it?"), shrink the spec while the failure persists: ddmin over the op
+// list (with operand remapping so every intermediate spec stays a valid
+// feed-forward graph), cone extraction per op, width and input-width
+// reduction, stimulus truncation to the first failing cycle, and
+// stimulus-value zeroing. Each move is kept only when the predicate
+// still fails, so the output is a locally minimal reproducer — in
+// practice a handful of ops and cycles, lowering to a few gates — that
+// is serialized to the corpus for replay.
+#pragma once
+
+#include <functional>
+
+#include "verify/rand.hpp"
+
+namespace fdbist::verify {
+
+/// Returns true when the case still fails (the oracle still finds a
+/// discrepancy). The minimizer only keeps transformations for which
+/// this stays true.
+using RtlPredicate = std::function<bool(const RtlCase&)>;
+using FilterPredicate = std::function<bool(const FilterCase&)>;
+
+struct MinimizeStats {
+  std::size_t predicate_calls = 0;
+  std::size_t rounds = 0;
+};
+
+/// Shrink a failing RtlCase. The input must satisfy the predicate;
+/// the result does too.
+RtlCase minimize_rtl_case(RtlCase c, const RtlPredicate& fails,
+                          MinimizeStats* stats = nullptr);
+
+/// Shrink a failing FilterCase (coefficient list, fault sample, vector
+/// budget).
+FilterCase minimize_filter_case(FilterCase c, const FilterPredicate& fails,
+                                MinimizeStats* stats = nullptr);
+
+/// Remove the ops whose indices are not in `keep` (sorted, unique),
+/// remapping the operands of the survivors: a reference to a removed op
+/// follows that op's own first operand transitively until it lands on a
+/// survivor or the primary input. Exposed for tests; the minimizer's
+/// ddmin passes are built on it.
+RtlCase drop_ops(const RtlCase& c, const std::vector<std::size_t>& keep);
+
+} // namespace fdbist::verify

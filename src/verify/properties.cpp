@@ -1,0 +1,212 @@
+#include "verify/properties.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "bist/misr.hpp"
+#include "fault/campaign.hpp"
+#include "fault/fault.hpp"
+#include "gate/lower.hpp"
+#include "gate/sim.hpp"
+#include "rtl/sim.hpp"
+
+namespace fdbist::verify {
+
+namespace {
+
+struct LoweredCase {
+  rtl::FilterDesign design;
+  gate::LoweredDesign low;
+  std::vector<std::int64_t> stim;
+  std::vector<fault::Fault> faults;
+};
+
+LoweredCase prepare(const FilterCase& c) {
+  LoweredCase lc{build_filter(c), {}, filter_stimulus(c), {}};
+  lc.low = gate::lower(lc.design.graph);
+  const auto universe = fault::order_for_simulation(
+      fault::enumerate_adder_faults(lc.low), lc.low.netlist,
+      lc.design.graph);
+  lc.faults = select_faults(c.fault_indices, universe);
+  return lc;
+}
+
+} // namespace
+
+Finding check_superposition(const FilterCase& c) {
+  const rtl::FilterDesign d = build_filter(c);
+  const auto stim = filter_stimulus(c);
+  const rtl::NodeId out = d.output;
+  const auto& lin = d.linear[std::size_t(out)];
+  // Three independent runs each accrue up to trunc_slack of truncation
+  // error; anything beyond their sum (plus an LSB of round-off head
+  // room) breaks linearity for a reason truncation cannot explain.
+  const double bound =
+      3.0 * lin.trunc_slack + 4.0 * d.graph.node(out).fmt.lsb();
+
+  rtl::Simulator s1(d.graph), s2(d.graph), s12(d.graph);
+  const std::size_t n = stim.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Half-amplitude operands: an arithmetic halving keeps each within
+    // half the input range, so x1 + x2 is always representable.
+    const std::int64_t x1 = stim[i] >> 1;
+    const std::int64_t x2 = stim[n - 1 - i] >> 1;
+    s1.step(x1);
+    s2.step(x2);
+    s12.step(x1 + x2);
+    const double y1 = s1.real(out);
+    const double y2 = s2.real(out);
+    const double y12 = s12.real(out);
+    const double residual = std::abs(y12 - (y1 + y2));
+    if (residual > bound)
+      return Finding::fail(
+          "superposition: |y(x1+x2) - y(x1) - y(x2)| = " +
+          std::to_string(residual) + " > " + std::to_string(bound) +
+          " at cycle " + std::to_string(i));
+  }
+  return Finding::ok();
+}
+
+Finding check_prefix_dominance(const FilterCase& c) {
+  const LoweredCase lc = prepare(c);
+  if (lc.faults.empty() || lc.stim.size() < 2) return Finding::ok();
+
+  fault::FaultSimOptions opt;
+  opt.num_threads = 1;
+  const auto full = simulate_faults(lc.low.netlist, lc.stim, lc.faults, opt);
+  const std::size_t prefix_len = lc.stim.size() / 2;
+  const auto prefix = simulate_faults(
+      lc.low.netlist,
+      std::span<const std::int64_t>(lc.stim.data(), prefix_len), lc.faults,
+      opt);
+
+  for (std::size_t i = 0; i < lc.faults.size(); ++i) {
+    const std::int32_t f = full.detect_cycle[i];
+    const std::int32_t p = prefix.detect_cycle[i];
+    // Detection at cycle t reads only vectors [0, t], so the two runs
+    // must agree on everything the prefix can see.
+    const std::int32_t expected =
+        (f >= 0 && static_cast<std::size_t>(f) < prefix_len) ? f : -1;
+    if (p != expected)
+      return Finding::fail(
+          "prefix-dominance: fault " + std::to_string(i) + ": full run " +
+          std::to_string(f) + ", prefix run " + std::to_string(p) +
+          " (expected " + std::to_string(expected) + " with prefix " +
+          std::to_string(prefix_len) + ")");
+  }
+  return Finding::ok();
+}
+
+Finding check_misr_aliasing(const FilterCase& c, int misr_width) {
+  const LoweredCase lc = prepare(c);
+  if (lc.faults.empty()) return Finding::ok();
+  const rtl::NodeId out = lc.design.graph.outputs().front();
+  const auto& out_bits = lc.low.node_bits[std::size_t(out)];
+
+  // Golden output trace and signature (lane 0 of a clean simulator).
+  std::vector<std::int64_t> golden;
+  golden.reserve(lc.stim.size());
+  {
+    gate::WordSim ws(lc.low.netlist);
+    for (const std::int64_t x : lc.stim) {
+      ws.step_broadcast(x);
+      golden.push_back(ws.lane_value(out_bits, 0));
+    }
+  }
+  bist::Misr golden_misr(misr_width);
+  golden_misr.absorb_all(golden);
+
+  const gate::CompiledSchedule sched_owner(lc.low.netlist);
+  std::size_t detected = 0, aliased = 0;
+  for (const fault::Fault& f : lc.faults) {
+    gate::WordSim ws(lc.low.netlist);
+    ws.add_fault(f.gate, f.site, f.stuck, std::uint64_t{1} << 1);
+    bist::Misr m(misr_width);
+    bool diverged = false;
+    for (std::size_t i = 0; i < lc.stim.size(); ++i) {
+      ws.step_broadcast(lc.stim[i]);
+      const std::int64_t y = ws.lane_value(out_bits, 1);
+      if (y != golden[i]) diverged = true;
+      m.absorb(static_cast<std::uint64_t>(y));
+    }
+    if (!diverged) continue;
+    ++detected;
+    if (m.signature() == golden_misr.signature()) ++aliased;
+  }
+
+  // Expected aliasing rate for a well-mixed width-w MISR is 2^-w per
+  // detected fault; allow a 64x slack multiple plus an absolute floor of
+  // two so a one-in-65536 fluke on a small sample cannot fire.
+  const double expected =
+      double(detected) * std::pow(2.0, -double(misr_width));
+  const double allowed = 2.0 + 64.0 * expected;
+  if (double(aliased) > allowed)
+    return Finding::fail(
+        "misr-aliasing: " + std::to_string(aliased) + " of " +
+        std::to_string(detected) + " detected faults aliased in a " +
+        std::to_string(misr_width) + "-bit MISR (allowed ~" +
+        std::to_string(allowed) + ", expected " + std::to_string(expected) +
+        ")");
+  return Finding::ok();
+}
+
+Finding check_mixed_engine_resume(const FilterCase& c,
+                                  const std::string& checkpoint_path) {
+  const LoweredCase lc = prepare(c);
+  if (lc.faults.size() < 4) return Finding::ok();
+
+  fault::FaultSimOptions ref_opt;
+  ref_opt.num_threads = 1;
+  ref_opt.engine = fault::FaultSimEngine::FullSweep;
+  const auto ref =
+      simulate_faults(lc.low.netlist, lc.stim, lc.faults, ref_opt);
+
+  // First leg: FullSweep engine, small slices, killed after the first
+  // slice has been checkpointed.
+  const std::size_t slice = std::max<std::size_t>(1, lc.faults.size() / 4);
+  common::CancelToken token;
+  fault::CampaignOptions first;
+  first.num_threads = 1;
+  first.engine = fault::FaultSimEngine::FullSweep;
+  first.checkpoint_every = slice;
+  first.checkpoint_path = checkpoint_path;
+  first.cancel = &token;
+  first.progress = [&](std::size_t done, std::size_t) {
+    if (done >= slice) token.cancel();
+  };
+  auto leg1 = run_campaign(lc.low.netlist, lc.stim, lc.faults, first);
+  if (!leg1)
+    return Finding::fail("mixed-resume: first leg error " +
+                         leg1.error().to_string());
+  if (leg1->sim.complete)
+    // The kill landed after the campaign finished; nothing to resume,
+    // but the verdicts must still match the reference.
+    return leg1->sim.detect_cycle == ref.detect_cycle
+               ? Finding::ok()
+               : Finding::fail("mixed-resume: uninterrupted campaign "
+                               "diverged from one-shot verdicts");
+
+  // Second leg: resume the same checkpoint under the Compiled engine.
+  fault::CampaignOptions second;
+  second.num_threads = 1;
+  second.engine = fault::FaultSimEngine::Compiled;
+  second.checkpoint_every = slice;
+  second.checkpoint_path = checkpoint_path;
+  second.resume = true;
+  auto leg2 = run_campaign(lc.low.netlist, lc.stim, lc.faults, second);
+  if (!leg2)
+    return Finding::fail("mixed-resume: resume leg error " +
+                         leg2.error().to_string());
+  if (!leg2->sim.complete)
+    return Finding::fail("mixed-resume: resume leg stopped early");
+  if (leg2->resumed_slices == 0)
+    return Finding::fail("mixed-resume: resume leg restored no slices");
+  if (leg2->sim.detect_cycle != ref.detect_cycle ||
+      leg2->sim.detected != ref.detected)
+    return Finding::fail(
+        "mixed-resume: FullSweep-then-Compiled campaign verdicts differ "
+        "from the one-shot reference");
+  return Finding::ok();
+}
+
+} // namespace fdbist::verify

@@ -1,0 +1,57 @@
+// Property checkers: mathematical invariants of the whole stack,
+// checked on randomly generated filter cases.
+//
+// Unlike the oracle (verify/oracle.hpp), which diffs two redundant
+// implementations of the same computation, these check *laws* a single
+// implementation must obey:
+//
+//   superposition   y(x1 + x2) == y(x1) + y(x2) within truncation slack
+//                   (the fault-free datapath is linear but for
+//                   quantization — paper Section 7.1)
+//   prefix          verdicts under a stimulus prefix agree with the
+//   dominance       full-run verdicts: detection at cycle t depends
+//                   only on vectors [0, t], so a longer stimulus can
+//                   only add detections, never move or remove one
+//   MISR aliasing   the empirical rate of detected faults whose MISR
+//                   signature still matches the golden one stays within
+//                   a generous multiple of the 2^-width expectation
+//   mixed-engine    a campaign checkpointed under one FaultSimEngine
+//   resume          and resumed under another merges to verdicts
+//                   bit-identical to an uninterrupted run
+//
+// All return verify::Finding; property violations are fuzz findings
+// exactly like oracle discrepancies and go through the same
+// minimize-and-serialize path.
+#pragma once
+
+#include <string>
+
+#include "verify/oracle.hpp"
+
+namespace fdbist::verify {
+
+/// Superposition of the fault-free filter: drive x1, x2, and x1+x2
+/// (half-amplitude so the sum cannot overflow the input format) and
+/// require |y12 - y1 - y2| within the accumulated truncation slack.
+Finding check_superposition(const FilterCase& c);
+
+/// Prefix dominance of fault verdicts: simulate the case's fault sample
+/// under the full stimulus and under its first-half prefix; every
+/// verdict must be prefix-consistent.
+Finding check_prefix_dominance(const FilterCase& c);
+
+/// Empirical MISR aliasing bound: among faults the raw-response
+/// comparison detects, those whose `misr_width`-bit signature still
+/// equals the golden signature are aliased. Requires the aliased count
+/// to stay within a slack multiple of the expected N * 2^-width.
+Finding check_misr_aliasing(const FilterCase& c, int misr_width = 16);
+
+/// Kill/resume equality under mixed engines: run a campaign with
+/// engine A checkpointing to `checkpoint_path`, cancel it partway,
+/// resume the file with engine B, and require the merged verdicts to be
+/// bit-identical to a one-shot run. The caller owns the path (a temp
+/// file); it is overwritten and left behind on failure for post-mortem.
+Finding check_mixed_engine_resume(const FilterCase& c,
+                                  const std::string& checkpoint_path);
+
+} // namespace fdbist::verify

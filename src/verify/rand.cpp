@@ -1,0 +1,205 @@
+#include "verify/rand.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tpg/generators.hpp"
+
+namespace fdbist::verify {
+
+namespace {
+
+constexpr std::int32_t kMinWidth = 2;
+constexpr std::int32_t kMaxWidth = 20;
+
+std::int32_t clamp_width(std::int32_t w) {
+  return std::clamp(w, kMinWidth, kMaxWidth);
+}
+
+/// Clamp a pool index to the pool built so far (index 0 = the input).
+std::uint32_t clamp_pool(std::uint32_t idx, std::size_t pool_size) {
+  return idx < pool_size ? idx : static_cast<std::uint32_t>(idx % pool_size);
+}
+
+} // namespace
+
+rtl::Graph build_graph(const RtlCase& c) {
+  rtl::Graph g;
+  std::vector<rtl::NodeId> pool;
+  const std::int32_t in_w = clamp_width(c.input_width);
+  pool.push_back(g.input(fx::Format{in_w, in_w - 1}));
+
+  for (const OpSpec& op : c.ops) {
+    const rtl::NodeId a = pool[clamp_pool(op.a, pool.size())];
+    const fx::Format afmt = g.node(a).fmt;
+    switch (op.kind) {
+    case rtl::OpKind::Add:
+    case rtl::OpKind::Sub: {
+      const rtl::NodeId b = pool[clamp_pool(op.b, pool.size())];
+      const int frac = std::max(afmt.frac, g.node(b).fmt.frac);
+      const fx::Format fmt{clamp_width(op.width), frac};
+      pool.push_back(op.kind == rtl::OpKind::Add ? g.add(a, b, fmt)
+                                                 : g.sub(a, b, fmt));
+      break;
+    }
+    case rtl::OpKind::Scale:
+      pool.push_back(g.scale(a, std::clamp(op.shift, -4, 8)));
+      break;
+    case rtl::OpKind::Resize:
+      pool.push_back(g.resize(
+          a, fx::Format{clamp_width(op.width),
+                        afmt.frac + std::clamp(op.frac_delta, -6, 6)}));
+      break;
+    case rtl::OpKind::Reg:
+      pool.push_back(g.reg(a));
+      break;
+    default: { // Const (Input/Output spec entries degrade to constants)
+      const fx::Format fmt{clamp_width(op.width), afmt.frac};
+      pool.push_back(g.constant(fx::wrap(op.cval, fmt), fmt));
+      break;
+    }
+    }
+  }
+
+  // Observe the tail plus two interior nodes, as the lowering fuzz test
+  // does — mid-graph probes catch divergence that later truncation or
+  // wrapping would mask at the final node.
+  g.output(pool.back());
+  if (pool.size() > 2) g.output(pool[pool.size() / 2]);
+  if (pool.size() > 3) g.output(pool[pool.size() / 3]);
+  return g;
+}
+
+std::vector<std::int64_t> driven_stimulus(const RtlCase& c) {
+  const std::int32_t in_w = clamp_width(c.input_width);
+  const fx::Format fmt{in_w, in_w - 1};
+  std::vector<std::int64_t> out;
+  out.reserve(c.stimulus.size());
+  for (const std::int64_t x : c.stimulus) out.push_back(fx::wrap(x, fmt));
+  return out;
+}
+
+rtl::FilterDesign build_filter(const FilterCase& c) {
+  std::vector<double> coefs;
+  for (const double v : c.coefs)
+    if (v != 0.0 && std::isfinite(v)) coefs.push_back(std::clamp(v, -0.9, 0.9));
+  if (coefs.empty()) coefs.push_back(0.25);
+  double l1 = 0.0;
+  for (const double v : coefs) l1 += std::abs(v);
+  // The builder requires the L1 norm plus truncation slack to fit the
+  // output format; keep a conservative margin.
+  if (l1 > 0.85)
+    for (double& v : coefs) v *= 0.85 / l1;
+  rtl::FirBuilderOptions opt;
+  opt.input_width = std::clamp(c.input_width, 6, 14);
+  opt.coef_width = std::clamp(c.coef_width, 8, 16);
+  opt.product_frac = opt.coef_width;
+  return rtl::build_fir(coefs, opt, "fuzz");
+}
+
+namespace {
+
+std::unique_ptr<tpg::Generator> make_source(std::uint8_t generator,
+                                            int width) {
+  switch (generator % 6) {
+  case 0: return tpg::make_generator(tpg::GeneratorKind::Lfsr1, width);
+  case 1: return tpg::make_generator(tpg::GeneratorKind::Lfsr2, width);
+  case 2: return tpg::make_generator(tpg::GeneratorKind::LfsrD, width);
+  case 3: return tpg::make_generator(tpg::GeneratorKind::LfsrM, width);
+  case 4: return tpg::make_generator(tpg::GeneratorKind::Ramp, width);
+  default: return std::make_unique<tpg::WhiteUniformSource>(width, 7);
+  }
+}
+
+} // namespace
+
+std::vector<std::int64_t> filter_stimulus(const FilterCase& c) {
+  const int width = std::clamp(c.input_width, 6, 14);
+  auto gen = make_source(c.generator, width);
+  return gen->generate_raw(std::max<std::uint32_t>(c.vectors, 1));
+}
+
+const char* filter_generator_name(std::uint8_t generator) {
+  switch (generator % 6) {
+  case 0: return "LFSR-1";
+  case 1: return "LFSR-2";
+  case 2: return "LFSR-D";
+  case 3: return "LFSR-M";
+  case 4: return "Ramp";
+  default: return "White";
+  }
+}
+
+RtlCase random_rtl_case(std::uint64_t seed, std::size_t ops,
+                        std::size_t cycles) {
+  Xoshiro256 rng(seed);
+  RtlCase c;
+  c.input_width = 3 + static_cast<std::int32_t>(rng.below(10));
+
+  auto pick = [&](std::size_t pool_size) {
+    return static_cast<std::uint32_t>(rng.below(pool_size));
+  };
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::size_t pool = i + 1;
+    OpSpec op;
+    switch (rng.below(5)) {
+    case 0: // add/sub, possibly narrower than full precision (wraps)
+      op.kind = rng.below(2) != 0 ? rtl::OpKind::Add : rtl::OpKind::Sub;
+      op.a = pick(pool);
+      op.b = pick(pool);
+      op.width = 2 + static_cast<std::int32_t>(rng.below(18));
+      break;
+    case 1:
+      op.kind = rtl::OpKind::Scale;
+      op.a = pick(pool);
+      op.shift = static_cast<std::int32_t>(rng.below(9)) - 2;
+      break;
+    case 2: // random truncation / extension
+      op.kind = rtl::OpKind::Resize;
+      op.a = pick(pool);
+      op.width = 2 + static_cast<std::int32_t>(rng.below(18));
+      op.frac_delta = static_cast<std::int32_t>(rng.below(7)) - 3;
+      break;
+    case 3:
+      op.kind = rtl::OpKind::Reg;
+      op.a = pick(pool);
+      break;
+    default:
+      op.kind = rtl::OpKind::Const;
+      op.a = pick(pool); // donor of the fractional alignment
+      op.width = 2 + static_cast<std::int32_t>(rng.below(10));
+      op.cval = static_cast<std::int64_t>(rng()); // wrapped at build
+      break;
+    }
+    c.ops.push_back(op);
+  }
+
+  c.stimulus.reserve(cycles);
+  for (std::size_t i = 0; i < cycles; ++i)
+    c.stimulus.push_back(static_cast<std::int64_t>(rng())); // wrapped later
+  return c;
+}
+
+FilterCase random_filter_case(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  FilterCase c;
+  const std::size_t taps = 2 + rng.below(6);
+  for (std::size_t i = 0; i < taps; ++i) {
+    double v = rng.uniform() - 0.5;
+    if (std::abs(v) < 1e-3) v = 0.25;
+    c.coefs.push_back(v);
+  }
+  c.input_width = 8 + static_cast<std::int32_t>(rng.below(5));
+  c.coef_width = 10 + static_cast<std::int32_t>(rng.below(6));
+  c.generator = static_cast<std::uint8_t>(rng.below(6));
+  c.vectors = 64 + static_cast<std::uint32_t>(rng.below(97));
+  // A thin sample of the fault universe keeps a case in the low
+  // milliseconds while still spanning several 63-fault batches.
+  const std::uint32_t stride = 5 + static_cast<std::uint32_t>(rng.below(9));
+  for (std::uint32_t i = 0; i < 40; ++i)
+    c.fault_indices.push_back(i * stride +
+                              static_cast<std::uint32_t>(rng.below(3)));
+  return c;
+}
+
+} // namespace fdbist::verify

@@ -1,0 +1,394 @@
+#include "verify/reparse.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace fdbist::verify {
+
+namespace {
+
+Error corrupt(const std::string& what, const std::string& line) {
+  return Error{ErrorCode::CorruptCheckpoint,
+               "reparse: " + what + " in line \"" + line + "\""};
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Parse "n<digits>" at position `pos`, advancing it past the digits.
+bool parse_net(const std::string& s, std::size_t& pos, gate::NetId& out) {
+  if (pos >= s.size() || s[pos] != 'n') return false;
+  std::size_t p = pos + 1;
+  if (p >= s.size() || !std::isdigit(static_cast<unsigned char>(s[p])))
+    return false;
+  long v = 0;
+  while (p < s.size() && std::isdigit(static_cast<unsigned char>(s[p]))) {
+    v = v * 10 + (s[p] - '0');
+    ++p;
+  }
+  pos = p;
+  out = static_cast<gate::NetId>(v);
+  return true;
+}
+
+bool parse_uint(const std::string& s, std::size_t& pos, std::size_t& out) {
+  if (pos >= s.size() || !std::isdigit(static_cast<unsigned char>(s[pos])))
+    return false;
+  std::size_t v = 0;
+  while (pos < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[pos]))) {
+    v = v * 10 + std::size_t(s[pos] - '0');
+    ++pos;
+  }
+  out = v;
+  return true;
+}
+
+bool eat(const std::string& s, std::size_t& pos, const char* lit) {
+  const std::size_t n = std::char_traits<char>::length(lit);
+  if (s.compare(pos, n, lit) != 0) return false;
+  pos += n;
+  return true;
+}
+
+} // namespace
+
+Expected<ParsedVerilog> parse_verilog(const std::string& text) {
+  ParsedVerilog pv;
+  std::istringstream in(text);
+  std::string raw;
+  bool in_reset_arm = false, in_update_arm = false;
+
+  auto net_slot = [&](gate::NetId id) -> ParsedVerilog::Net* {
+    if (id < 0 || std::size_t(id) >= pv.nets.size()) return nullptr;
+    return &pv.nets[std::size_t(id)];
+  };
+
+  auto drive = [&](gate::NetId id, const std::string& line,
+                   gate::GateOp op, gate::NetId a,
+                   gate::NetId b) -> Expected<void> {
+    ParsedVerilog::Net* n = net_slot(id);
+    if (n == nullptr) return corrupt("undeclared net", line);
+    if (n->driven) return corrupt("net driven twice", line);
+    n->driven = true;
+    n->op = op;
+    n->a = a;
+    n->b = b;
+    return {};
+  };
+
+  while (std::getline(in, raw)) {
+    const std::string line = trim(raw);
+    if (line.empty() || starts_with(line, "//")) continue;
+
+    if (starts_with(line, "module ")) {
+      std::size_t end = line.find(' ', 7);
+      pv.module_name = line.substr(7, end == std::string::npos
+                                          ? std::string::npos
+                                          : end - 7);
+      continue;
+    }
+    // Port list, block structure, and trailer lines carry no structural
+    // content beyond what the bindings repeat.
+    if (starts_with(line, "input wire") || starts_with(line, "output wire"))
+      continue;
+    if (starts_with(line, "always ")) continue;
+    if (starts_with(line, "if (")) {
+      in_reset_arm = true;
+      continue;
+    }
+    if (starts_with(line, "end else")) {
+      in_reset_arm = false;
+      in_update_arm = true;
+      continue;
+    }
+    if (line == "end" || line == ");" || line == "endmodule") {
+      in_update_arm = false;
+      continue;
+    }
+
+    if (starts_with(line, "wire n") || starts_with(line, "reg n")) {
+      const bool is_reg = line[0] == 'r';
+      std::size_t pos = is_reg ? 4 : 5;
+      gate::NetId id = gate::kNoNet;
+      if (!parse_net(line, pos, id) || !eat(line, pos, ";"))
+        return corrupt("bad declaration", line);
+      if (std::size_t(id) != pv.nets.size())
+        return corrupt("non-sequential net declaration", line);
+      ParsedVerilog::Net n;
+      n.is_reg = is_reg;
+      pv.nets.push_back(n);
+      continue;
+    }
+
+    if (starts_with(line, "assign n")) {
+      std::size_t pos = 7;
+      gate::NetId id = gate::kNoNet;
+      if (!parse_net(line, pos, id) || !eat(line, pos, " = "))
+        return corrupt("bad assign", line);
+      if (eat(line, pos, "1'b0;")) {
+        if (auto r = drive(id, line, gate::GateOp::Const0, gate::kNoNet,
+                           gate::kNoNet);
+            !r)
+          return r.error();
+      } else if (eat(line, pos, "1'b1;")) {
+        if (auto r = drive(id, line, gate::GateOp::Const1, gate::kNoNet,
+                           gate::kNoNet);
+            !r)
+          return r.error();
+      } else if (eat(line, pos, "~")) {
+        gate::NetId a = gate::kNoNet;
+        if (!parse_net(line, pos, a) || !eat(line, pos, ";"))
+          return corrupt("bad inverter", line);
+        if (auto r = drive(id, line, gate::GateOp::Not, a, gate::kNoNet);
+            !r)
+          return r.error();
+      } else if (line[pos] == 'x') {
+        ++pos;
+        std::size_t group = 0, bit = 0;
+        if (!parse_uint(line, pos, group) || !eat(line, pos, "[") ||
+            !parse_uint(line, pos, bit) || !eat(line, pos, "];"))
+          return corrupt("bad input binding", line);
+        if (group >= pv.inputs.size()) pv.inputs.resize(group + 1);
+        if (bit != pv.inputs[group].size())
+          return corrupt("non-sequential input bit", line);
+        pv.inputs[group].push_back(id);
+        if (auto r = drive(id, line, gate::GateOp::Input, gate::kNoNet,
+                           gate::kNoNet);
+            !r)
+          return r.error();
+      } else {
+        gate::NetId a = gate::kNoNet, b = gate::kNoNet;
+        if (!parse_net(line, pos, a) || !eat(line, pos, " "))
+          return corrupt("bad binary gate", line);
+        gate::GateOp op;
+        if (eat(line, pos, "& ")) op = gate::GateOp::And;
+        else if (eat(line, pos, "| ")) op = gate::GateOp::Or;
+        else if (eat(line, pos, "^ ")) op = gate::GateOp::Xor;
+        else return corrupt("unknown operator", line);
+        if (!parse_net(line, pos, b) || !eat(line, pos, ";"))
+          return corrupt("bad binary gate operand", line);
+        if (auto r = drive(id, line, op, a, b); !r) return r.error();
+      }
+      continue;
+    }
+
+    if (starts_with(line, "assign y")) {
+      std::size_t pos = 8;
+      std::size_t group = 0, bit = 0;
+      gate::NetId src = gate::kNoNet;
+      if (!parse_uint(line, pos, group) || !eat(line, pos, "[") ||
+          !parse_uint(line, pos, bit) || !eat(line, pos, "] = ") ||
+          !parse_net(line, pos, src) || !eat(line, pos, ";"))
+        return corrupt("bad output binding", line);
+      if (group >= pv.outputs.size()) pv.outputs.resize(group + 1);
+      if (bit != pv.outputs[group].size())
+        return corrupt("non-sequential output bit", line);
+      if (net_slot(src) == nullptr)
+        return corrupt("output reads undeclared net", line);
+      pv.outputs[group].push_back(src);
+      continue;
+    }
+
+    if (starts_with(line, "n") && line.find("<=") != std::string::npos) {
+      std::size_t pos = 0;
+      gate::NetId q = gate::kNoNet;
+      if (!parse_net(line, pos, q) || !eat(line, pos, " <= "))
+        return corrupt("bad register statement", line);
+      if (in_reset_arm) {
+        if (!eat(line, pos, "1'b0;"))
+          return corrupt("non-zero reset value", line);
+        pv.reset_nets.push_back(q);
+      } else if (in_update_arm) {
+        gate::NetId d = gate::kNoNet;
+        if (!parse_net(line, pos, d) || !eat(line, pos, ";"))
+          return corrupt("bad register source", line);
+        pv.registers.push_back({d, q});
+        if (auto r = drive(q, line, gate::GateOp::RegOut, gate::kNoNet,
+                           gate::kNoNet);
+            !r)
+          return r.error();
+      } else {
+        return corrupt("register statement outside always block", line);
+      }
+      continue;
+    }
+
+    return corrupt("unrecognized statement", line);
+  }
+  return pv;
+}
+
+Finding match_verilog(const ParsedVerilog& parsed, const gate::Netlist& nl) {
+  if (parsed.nets.size() != nl.size())
+    return Finding::fail("verilog: " + std::to_string(parsed.nets.size()) +
+                         " nets parsed, netlist has " +
+                         std::to_string(nl.size()));
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const gate::Gate& g = nl.gate(static_cast<gate::NetId>(i));
+    const ParsedVerilog::Net& p = parsed.nets[i];
+    auto where = [&] { return " at net n" + std::to_string(i); };
+    if (!p.driven)
+      return Finding::fail("verilog: undriven net" + where());
+    if (p.op != g.op)
+      return Finding::fail(std::string("verilog: op ") +
+                           gate_op_name(p.op) + " != " +
+                           gate_op_name(g.op) + where());
+    if (p.is_reg != (g.op == gate::GateOp::RegOut))
+      return Finding::fail("verilog: reg/wire declaration mismatch" +
+                           where());
+    const bool combinational = g.op == gate::GateOp::Not ||
+                               g.op == gate::GateOp::And ||
+                               g.op == gate::GateOp::Or ||
+                               g.op == gate::GateOp::Xor;
+    if (combinational && (p.a != g.a || p.b != g.b))
+      return Finding::fail("verilog: operand mismatch" + where());
+  }
+  if (parsed.registers.size() != nl.registers().size())
+    return Finding::fail("verilog: register count mismatch");
+  for (std::size_t i = 0; i < nl.registers().size(); ++i) {
+    const gate::RegBit& want = nl.registers()[i];
+    const gate::RegBit& got = parsed.registers[i];
+    if (got.d != want.d || got.q != want.q)
+      return Finding::fail("verilog: register " + std::to_string(i) +
+                           " pair mismatch");
+    if (i >= parsed.reset_nets.size() || parsed.reset_nets[i] != want.q)
+      return Finding::fail("verilog: register " + std::to_string(i) +
+                           " missing from the reset arm");
+  }
+  if (parsed.inputs != nl.inputs())
+    return Finding::fail("verilog: input bit bindings differ");
+  if (parsed.outputs != nl.outputs())
+    return Finding::fail("verilog: output bit bindings differ");
+  return Finding::ok();
+}
+
+namespace {
+
+/// Mirrors the (deliberately private) shape table of rtl/dot_export.cpp;
+/// the round-trip test exists to catch the two drifting apart.
+const char* expected_shape(rtl::OpKind k) {
+  switch (k) {
+  case rtl::OpKind::Input: return "invhouse";
+  case rtl::OpKind::Output: return "house";
+  case rtl::OpKind::Reg: return "box";
+  case rtl::OpKind::Add:
+  case rtl::OpKind::Sub: return "circle";
+  case rtl::OpKind::Const: return "plaintext";
+  default: return "ellipse";
+  }
+}
+
+} // namespace
+
+Expected<ParsedDot> parse_dot(const std::string& text) {
+  ParsedDot pd;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string line = trim(raw);
+    if (line.empty() || line == "}") continue;
+    if (starts_with(line, "digraph ")) {
+      const std::size_t open = line.find('"');
+      const std::size_t close = line.rfind('"');
+      if (open == std::string::npos || close <= open)
+        return corrupt("bad digraph header", line);
+      pd.graph_name = line.substr(open + 1, close - open - 1);
+      continue;
+    }
+    if (starts_with(line, "rankdir") || starts_with(line, "node ["))
+      continue;
+
+    std::size_t pos = 0;
+    gate::NetId from = gate::kNoNet;
+    if (!parse_net(line, pos, from))
+      return corrupt("unrecognized statement", line);
+
+    if (eat(line, pos, " -> ")) {
+      gate::NetId to = gate::kNoNet;
+      if (!parse_net(line, pos, to))
+        return corrupt("bad edge target", line);
+      ParsedDot::Edge e;
+      e.from = from;
+      e.to = to;
+      if (eat(line, pos, " [style=dashed]")) e.dashed = true;
+      if (!eat(line, pos, ";")) return corrupt("unterminated edge", line);
+      pd.edges.push_back(e);
+      continue;
+    }
+
+    if (!eat(line, pos, " [shape=")) return corrupt("bad node", line);
+    const std::size_t comma = line.find(", label=\"", pos);
+    if (comma == std::string::npos) return corrupt("missing label", line);
+    ParsedDot::Node node;
+    node.shape = line.substr(pos, comma - pos);
+    const std::size_t lstart = comma + 9;
+    const std::size_t lend = line.find("\"];", lstart);
+    if (lend == std::string::npos)
+      return corrupt("unterminated label", line);
+    node.label = line.substr(lstart, lend - lstart);
+    if (std::size_t(from) != pd.nodes.size())
+      return corrupt("non-sequential node id", line);
+    pd.nodes.push_back(node);
+  }
+  return pd;
+}
+
+Finding match_dot(const ParsedDot& parsed, const rtl::Graph& g) {
+  if (parsed.nodes.size() != g.size())
+    return Finding::fail("dot: " + std::to_string(parsed.nodes.size()) +
+                         " nodes parsed, graph has " +
+                         std::to_string(g.size()));
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const rtl::Node& n = g.node(static_cast<rtl::NodeId>(i));
+    const ParsedDot::Node& p = parsed.nodes[i];
+    if (p.shape != expected_shape(n.kind))
+      return Finding::fail("dot: node n" + std::to_string(i) + " shape " +
+                           p.shape + ", expected " +
+                           expected_shape(n.kind));
+    if (p.label.find(rtl::op_name(n.kind)) == std::string::npos)
+      return Finding::fail("dot: node n" + std::to_string(i) +
+                           " label \"" + p.label + "\" lacks op name " +
+                           rtl::op_name(n.kind));
+  }
+
+  std::vector<ParsedDot::Edge> expected;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const rtl::Node& n = g.node(static_cast<rtl::NodeId>(i));
+    if (n.a != rtl::kNoNode)
+      expected.push_back({n.a, static_cast<rtl::NodeId>(i), false});
+    if (n.b != rtl::kNoNode)
+      expected.push_back({n.b, static_cast<rtl::NodeId>(i), true});
+  }
+  auto key = [](const ParsedDot::Edge& e) {
+    return (std::int64_t(e.from) << 33) | (std::int64_t(e.to) << 1) |
+           std::int64_t(e.dashed);
+  };
+  std::vector<ParsedDot::Edge> got = parsed.edges;
+  auto by_key = [&](const ParsedDot::Edge& x, const ParsedDot::Edge& y) {
+    return key(x) < key(y);
+  };
+  std::sort(expected.begin(), expected.end(), by_key);
+  std::sort(got.begin(), got.end(), by_key);
+  if (got.size() != expected.size())
+    return Finding::fail("dot: " + std::to_string(got.size()) +
+                         " edges parsed, graph implies " +
+                         std::to_string(expected.size()));
+  for (std::size_t i = 0; i < got.size(); ++i)
+    if (key(got[i]) != key(expected[i]))
+      return Finding::fail(
+          "dot: edge set mismatch near n" + std::to_string(got[i].from) +
+          " -> n" + std::to_string(got[i].to));
+  return Finding::ok();
+}
+
+} // namespace fdbist::verify

@@ -1,0 +1,74 @@
+// Structural re-parsers for the repo's own export formats.
+//
+// The Verilog and DOT emitters are write-only in production; nothing in
+// the toolchain reads them back, so a formatting regression (dropped
+// assign, wrong operand order, missing register arm) would ship
+// silently. These parsers close the loop: parse the emitted text back
+// into a structural model and match it gate-for-gate (Verilog) or
+// node-for-node and edge-for-edge (DOT) against the in-memory design.
+// They parse only what the emitters produce — this is a round-trip
+// checker, not a general HDL/graphviz front end.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gate/netlist.hpp"
+#include "rtl/graph.hpp"
+#include "verify/oracle.hpp"
+
+namespace fdbist::verify {
+
+/// Structural content recovered from emitted Verilog.
+struct ParsedVerilog {
+  struct Net {
+    gate::GateOp op = gate::GateOp::Const0;
+    gate::NetId a = gate::kNoNet;
+    gate::NetId b = gate::kNoNet;
+    bool is_reg = false;   ///< declared `reg` (vs `wire`)
+    bool driven = false;   ///< has an assign / input binding / reg arm
+  };
+  std::vector<Net> nets;                          ///< indexed by net id
+  std::vector<gate::RegBit> registers;            ///< from the else arm
+  std::vector<gate::NetId> reset_nets;            ///< from the reset arm
+  std::vector<std::vector<gate::NetId>> inputs;   ///< x<g>[j] bindings
+  std::vector<std::vector<gate::NetId>> outputs;  ///< y<g>[j] bindings
+  std::string module_name;
+};
+
+/// Parse text produced by gate::to_verilog. Structural problems
+/// (unknown statement, net out of range, double drive) are
+/// CorruptCheckpoint errors carrying the offending line.
+Expected<ParsedVerilog> parse_verilog(const std::string& text);
+
+/// Match a parse against the netlist it was emitted from: same gate op
+/// and operands per net, same register pairs, same input/output bit
+/// bindings, every logic net driven exactly once.
+Finding match_verilog(const ParsedVerilog& parsed, const gate::Netlist& nl);
+
+/// Structural content recovered from emitted DOT.
+struct ParsedDot {
+  struct Node {
+    std::string shape;
+    std::string label;
+  };
+  struct Edge {
+    rtl::NodeId from = rtl::kNoNode;
+    rtl::NodeId to = rtl::kNoNode;
+    bool dashed = false; ///< the second-operand styling
+  };
+  std::vector<Node> nodes; ///< indexed by node id
+  std::vector<Edge> edges;
+  std::string graph_name;
+};
+
+/// Parse text produced by rtl::to_dot.
+Expected<ParsedDot> parse_dot(const std::string& text);
+
+/// Match a parse against the graph it was emitted from: one node per
+/// graph node with the kind-determined shape and the op name in the
+/// label, and exactly the graph's operand edges (b-edges dashed).
+Finding match_dot(const ParsedDot& parsed, const rtl::Graph& g);
+
+} // namespace fdbist::verify

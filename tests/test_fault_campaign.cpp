@@ -192,6 +192,72 @@ TEST_F(CampaignTest, ResumeEqualsUninterruptedAtEveryCutPoint) {
   }
 }
 
+// Satellite of the verification PR: a checkpoint written under one
+// FaultSimEngine must be resumable under the other. Verdicts are pure
+// functions of (netlist, stimulus, fault) — the engine is deliberately
+// excluded from the checkpoint fingerprint — so every cross-engine
+// combination must merge to the bit-identical uninterrupted result.
+TEST_F(CampaignTest, ResumeUnderADifferentEngineIsBitIdentical) {
+  using Engine = FaultSimEngine;
+  for (const auto& [first_engine, resume_engine] :
+       {std::pair{Engine::FullSweep, Engine::Compiled},
+        std::pair{Engine::Compiled, Engine::FullSweep},
+        std::pair{Engine::FullSweep, Engine::Auto}}) {
+    const std::string file = path(
+        (std::string("mixed_") + fault_sim_engine_name(first_engine) + "_" +
+         fault_sim_engine_name(resume_engine))
+            .c_str());
+
+    common::CancelToken token;
+    CampaignOptions opt;
+    opt.num_threads = 1;
+    opt.engine = first_engine;
+    opt.checkpoint_every = 64;
+    opt.checkpoint_path = file;
+    opt.cancel = &token;
+    std::size_t calls = 0;
+    opt.progress = [&](std::size_t, std::size_t) {
+      if (++calls >= 2) token.cancel();
+    };
+    auto first = run_campaign(fixture().low.netlist, fixture().stim,
+                              fixture().faults, opt);
+    ASSERT_TRUE(first) << first.error().to_string();
+    ASSERT_FALSE(first->sim.complete);
+    EXPECT_EQ(first->sim.stats.engine, first_engine);
+
+    CampaignOptions resume_opt;
+    resume_opt.num_threads = 2;
+    resume_opt.engine = resume_engine;
+    resume_opt.checkpoint_every = 64;
+    resume_opt.checkpoint_path = file;
+    resume_opt.resume = true;
+    auto resumed = run_campaign(fixture().low.netlist, fixture().stim,
+                                fixture().faults, resume_opt);
+    ASSERT_TRUE(resumed) << resumed.error().to_string();
+    EXPECT_EQ(resumed->resumed_slices, first->completed_slices);
+    expect_bit_identical(resumed->sim);
+  }
+}
+
+TEST_F(CampaignTest, EngineOptionIsForwardedToEachSlice) {
+  for (const auto engine :
+       {FaultSimEngine::FullSweep, FaultSimEngine::Compiled}) {
+    CampaignOptions opt;
+    opt.num_threads = 1;
+    opt.engine = engine;
+    opt.checkpoint_every = 64;
+    auto r = run_campaign(fixture().low.netlist, fixture().stim,
+                          fixture().faults, opt);
+    ASSERT_TRUE(r) << r.error().to_string();
+    EXPECT_EQ(r->sim.stats.engine, engine);
+    if (engine == FaultSimEngine::FullSweep)
+      EXPECT_EQ(r->sim.stats.gates_evaluated, r->sim.stats.gates_full_sweep);
+    else
+      EXPECT_LT(r->sim.stats.gates_evaluated, r->sim.stats.gates_full_sweep);
+    expect_bit_identical(r->sim);
+  }
+}
+
 TEST_F(CampaignTest, ResumeOfCompletedCampaignIsIdenticalAndRunsNothing) {
   CampaignOptions opt;
   opt.num_threads = 2;

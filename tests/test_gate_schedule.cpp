@@ -11,6 +11,7 @@
 #include <set>
 #include <vector>
 
+#include "common/env.hpp"
 #include "designs/reference.hpp"
 #include "fault/serial.hpp"
 #include "fault/simulator.hpp"
@@ -195,7 +196,9 @@ void expect_engines_identical(const Netlist& nl,
 }
 
 TEST(EngineEquivalence, RandomizedLoweredNetlists) {
-  std::mt19937 rng(20260806);
+  const std::uint64_t seed = common::test_seed(20260806);
+  SCOPED_TRACE(common::seed_note(seed));
+  std::mt19937 rng(static_cast<std::mt19937::result_type>(seed));
   std::uniform_real_distribution<double> coef(-0.5, 0.5);
   std::uniform_int_distribution<int> ntaps(2, 7);
   for (int design = 0; design < 6; ++design) {

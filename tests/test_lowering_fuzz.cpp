@@ -5,6 +5,7 @@
 // structural hashing in the lowering.
 #include <gtest/gtest.h>
 
+#include "common/env.hpp"
 #include "common/xoshiro.hpp"
 #include "gate/lower.hpp"
 #include "gate/sim.hpp"
@@ -71,7 +72,9 @@ rtl::Graph random_graph(std::uint64_t seed, std::size_t ops) {
 class LoweringFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(LoweringFuzz, GateSimMatchesRtlSimExactly) {
-  const std::uint64_t seed = GetParam();
+  // FDBIST_TEST_SEED re-randomizes all 40 instances at once while
+  // keeping each parameter on its own stream.
+  const std::uint64_t seed = common::test_seed(GetParam());
   const rtl::Graph g = random_graph(seed, 40);
   const auto low = gate::lower(g);
 
@@ -89,7 +92,8 @@ TEST_P(LoweringFuzz, GateSimMatchesRtlSimExactly) {
     for (const auto out : g.outputs()) {
       ASSERT_EQ(ws.lane_value(low.node_bits[std::size_t(out)], 0),
                 rs.raw(out))
-          << "seed " << seed << " cycle " << cycle << " node " << out;
+          << common::seed_note(seed) << " cycle " << cycle << " node "
+          << out;
     }
   }
 }

@@ -6,6 +6,7 @@
 
 #include "analysis/lfsr_model.hpp"
 #include "bist/misr.hpp"
+#include "common/env.hpp"
 #include "common/xoshiro.hpp"
 #include "csd/csd.hpp"
 #include "dsp/stats.hpp"
@@ -20,7 +21,9 @@ namespace {
 TEST(Property, MisrIsLinearOverGf2) {
   // With a zero seed, the MISR is linear: sig(x XOR y) = sig(x) XOR
   // sig(y) for streams absorbed element-wise.
-  Xoshiro256 rng(4);
+  const std::uint64_t seed = common::test_seed(4);
+  SCOPED_TRACE(common::seed_note(seed));
+  Xoshiro256 rng(seed);
   for (int trial = 0; trial < 20; ++trial) {
     bist::Misr mx(24, 0);
     bist::Misr my(24, 0);
@@ -40,7 +43,9 @@ TEST(Property, MisrSingleBitStreamsSeparate) {
   // Any two streams differing in exactly one absorbed bit yield
   // different signatures as long as fewer than 2^width words follow
   // (no cancellation possible for a single injected error).
-  Xoshiro256 rng(5);
+  const std::uint64_t seed = common::test_seed(5);
+  SCOPED_TRACE(common::seed_note(seed));
+  Xoshiro256 rng(seed);
   for (int pos = 0; pos < 16; ++pos) {
     bist::Misr a(24, 0);
     bist::Misr b(24, 0);
@@ -63,7 +68,9 @@ TEST(Property, FilterDesignIsLinearInGain) {
   const auto d2 = rtl::build_fir(half, {}, "g2");
   rtl::Simulator s1(d1.graph);
   rtl::Simulator s2(d2.graph);
-  Xoshiro256 rng(6);
+  const std::uint64_t seed = common::test_seed(6);
+  SCOPED_TRACE(common::seed_note(seed));
+  Xoshiro256 rng(seed);
   for (int i = 0; i < 400; ++i) {
     const auto x = static_cast<std::int64_t>(rng.below(4096)) - 2048;
     s1.step(x);
@@ -89,7 +96,9 @@ TEST(Property, TimeReversedCoefficientsSameMagnitudeResponse) {
 }
 
 TEST(Property, CsdQuantizationErrorDecreasesWithWidth) {
-  Xoshiro256 rng(7);
+  const std::uint64_t seed = common::test_seed(7);
+  SCOPED_TRACE(common::seed_note(seed));
+  Xoshiro256 rng(seed);
   for (int trial = 0; trial < 50; ++trial) {
     const double t = 0.97 * (2.0 * rng.uniform() - 1.0);
     double prev = 1e9;
@@ -141,7 +150,9 @@ TEST(Property, GraphAddCommutes) {
   const auto s1 = g.add(a, b, fx::Format{9, 4});
   const auto s2 = g.add(b, a, fx::Format{9, 4});
   rtl::Simulator sim(g);
-  Xoshiro256 rng(9);
+  const std::uint64_t seed = common::test_seed(9);
+  SCOPED_TRACE(common::seed_note(seed));
+  Xoshiro256 rng(seed);
   for (int i = 0; i < 200; ++i) {
     const std::int64_t ins[] = {
         static_cast<std::int64_t>(rng.below(256)) - 128,
