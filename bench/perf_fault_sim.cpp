@@ -10,10 +10,14 @@
 //   perf_fault_sim [gbench flags]   google-benchmark microbenchmarks
 //   perf_fault_sim --json[=PATH] [--json-vectors=N] [--json-design=lp|bench12]
 //       machine-readable kernel report (BENCH_fault_sim.json by default):
-//       vectors/s and faults/s per thread count plus engine stats, so the
-//       perf trajectory is tracked across PRs. Exits non-zero if the
-//       compiled and reference engines ever disagree on a verdict, which
-//       makes the CI perf smoke a correctness tripwire too.
+//       vectors/s and faults/s per (SIMD backend x thread count) plus
+//       engine stats and lane width, so the perf trajectory is tracked
+//       across PRs (scripts/check_bench_regression.py gates on it). The
+//       reference run is pinned to the scalar backend so it stays a
+//       stable machine-speed denominator. Exits non-zero if any run —
+//       any engine, backend, thread count, or pass configuration —
+//       disagrees on a verdict, which makes the CI perf smoke a
+//       correctness tripwire too.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -24,7 +28,9 @@
 #include <vector>
 
 #include "common/parse.hpp"
+#include "common/simd.hpp"
 #include "designs/reference.hpp"
+#include "fault/kernel.hpp"
 #include "fault/simulator.hpp"
 #include "gate/lower.hpp"
 #include "rtl/sim.hpp"
@@ -174,7 +180,7 @@ BENCHMARK(BM_Ablation_UnorderedBatches);
 // Machine-readable kernel report (--json mode).
 
 struct JsonRun {
-  const char* label = "";
+  std::string label;
   fault::FaultSimEngine engine = fault::FaultSimEngine::Compiled;
   std::size_t threads = 1;
   double seconds = 0;
@@ -183,11 +189,12 @@ struct JsonRun {
 
 void append_json_run(std::string& out, const JsonRun& r, std::size_t vectors,
                      std::size_t faults) {
-  char buf[1024];
+  char buf[1536];
   const auto& s = r.result.stats;
   std::snprintf(
       buf, sizeof(buf),
-      "    {\"label\": \"%s\", \"engine\": \"%s\", \"threads\": %zu,\n"
+      "    {\"label\": \"%s\", \"engine\": \"%s\", \"simd\": \"%s\", "
+      "\"lane_width\": %zu, \"threads\": %zu,\n"
       "     \"seconds\": %.6f, \"vectors_per_s\": %.1f, \"faults_per_s\": "
       "%.1f, \"fault_vectors_per_s\": %.3e,\n"
       "     \"detected\": %zu,\n"
@@ -196,8 +203,11 @@ void append_json_run(std::string& out, const JsonRun& r, std::size_t vectors,
       "       \"gates_evaluated\": %llu, \"gates_full_sweep\": %llu, "
       "\"good_trace_cycles\": %llu,\n"
       "       \"mean_cone_fraction\": %.4f, \"mean_early_exit_cycles\": "
-      "%.1f, \"gate_eval_savings\": %.4f}}",
-      r.label, fault_sim_engine_name(s.engine), r.threads, r.seconds,
+      "%.1f, \"gate_eval_savings\": %.4f,\n"
+      "       \"pipeline_gates_before\": %llu, \"pipeline_gates_after\": "
+      "%llu}}",
+      r.label.c_str(), fault_sim_engine_name(s.engine),
+      common::simd_backend_name(s.simd), s.lane_width, r.threads, r.seconds,
       double(vectors) / r.seconds, double(faults) / r.seconds,
       double(vectors) * double(faults) / r.seconds, r.result.detected,
       static_cast<unsigned long long>(s.batches),
@@ -207,7 +217,9 @@ void append_json_run(std::string& out, const JsonRun& r, std::size_t vectors,
       static_cast<unsigned long long>(s.gates_full_sweep),
       static_cast<unsigned long long>(s.good_trace_cycles),
       s.mean_cone_fraction(), s.mean_early_exit_cycles(),
-      s.gate_eval_savings());
+      s.gate_eval_savings(),
+      static_cast<unsigned long long>(s.pipeline_gates_before),
+      static_cast<unsigned long long>(s.pipeline_gates_after));
   out += buf;
 }
 
@@ -234,15 +246,18 @@ int run_json_report(const std::string& path, const std::string& design_name,
   auto gen = tpg::make_generator(tpg::GeneratorKind::LfsrD, 12);
   const auto stim = gen->generate_raw(vectors);
 
-  auto timed = [&](const char* label, fault::FaultSimEngine engine,
-                   std::size_t threads) {
+  auto timed = [&](std::string label, fault::FaultSimEngine engine,
+                   common::SimdBackend simd, std::size_t threads,
+                   bool passes) {
     JsonRun r;
-    r.label = label;
+    r.label = std::move(label);
     r.engine = engine;
     r.threads = threads;
     fault::FaultSimOptions opt;
     opt.engine = engine;
+    opt.simd = simd;
     opt.num_threads = threads;
+    if (!passes) opt.passes = gate::PassOptions::none();
     const auto t0 = std::chrono::steady_clock::now();
     r.result = fault::simulate_faults(low.netlist, stim, faults, opt);
     r.seconds = std::chrono::duration<double>(
@@ -252,19 +267,45 @@ int run_json_report(const std::string& path, const std::string& design_name,
   };
 
   std::vector<JsonRun> runs;
-  runs.push_back(timed("reference-1t", fault::FaultSimEngine::FullSweep, 1));
-  runs.push_back(timed("compiled-1t", fault::FaultSimEngine::Compiled, 1));
-  runs.push_back(timed("compiled-2t", fault::FaultSimEngine::Compiled, 2));
-  runs.push_back(timed("compiled-hw", fault::FaultSimEngine::Compiled, 0));
+  // Reference pinned to scalar: a machine-speed denominator that never
+  // shifts when a wider backend appears or disappears.
+  runs.push_back(timed("reference-1t", fault::FaultSimEngine::FullSweep,
+                       common::SimdBackend::Scalar, 1, true));
+  // Headline trio keeps the historical labels (Auto = widest runnable).
+  runs.push_back(timed("compiled-1t", fault::FaultSimEngine::Compiled,
+                       common::SimdBackend::Auto, 1, true));
+  runs.push_back(timed("compiled-2t", fault::FaultSimEngine::Compiled,
+                       common::SimdBackend::Auto, 2, true));
+  runs.push_back(timed("compiled-hw", fault::FaultSimEngine::Compiled,
+                       common::SimdBackend::Auto, 0, true));
+  // Pass-pipeline ablation at the headline shape.
+  runs.push_back(timed("compiled-1t-nopasses", fault::FaultSimEngine::Compiled,
+                       common::SimdBackend::Auto, 1, false));
+  // Explicit lane-width sweep over every backend this build + CPU can
+  // run, at 1/2/hw threads. Doubles as the cross-backend verdict check.
+  for (const common::SimdBackend b :
+       {common::SimdBackend::Scalar, common::SimdBackend::Avx2,
+        common::SimdBackend::Avx512}) {
+    if (!fault::detail::kernel_available(b)) continue;
+    const std::string base =
+        std::string("compiled-") + common::simd_backend_name(b);
+    runs.push_back(
+        timed(base + "-1t", fault::FaultSimEngine::Compiled, b, 1, true));
+    runs.push_back(
+        timed(base + "-2t", fault::FaultSimEngine::Compiled, b, 2, true));
+    runs.push_back(
+        timed(base + "-hw", fault::FaultSimEngine::Compiled, b, 0, true));
+  }
 
-  // The perf report doubles as a correctness tripwire: every run must
+  // The perf report doubles as a correctness tripwire: every run — any
+  // engine, backend, thread count, or pass configuration — must
   // produce bit-identical verdicts.
   for (const JsonRun& r : runs) {
     if (r.result.detect_cycle != runs.front().result.detect_cycle) {
       std::fprintf(stderr,
                    "perf_fault_sim: %s disagrees with %s on detect_cycle — "
                    "engine regression\n",
-                   r.label, runs.front().label);
+                   r.label.c_str(), runs.front().label.c_str());
       return 1;
     }
   }
@@ -301,8 +342,9 @@ int run_json_report(const std::string& path, const std::string& design_name,
   std::printf("wrote %s (%s, %zu faults, %zu vectors)\n", path.c_str(),
               design_name.c_str(), faults.size(), vectors);
   for (const JsonRun& r : runs)
-    std::printf("  %-13s %8.3fs  cone %.3f  savings %.3f\n", r.label,
-                r.seconds, r.result.stats.mean_cone_fraction(),
+    std::printf("  %-21s %8.3fs  %4zu lanes  cone %.3f  savings %.3f\n",
+                r.label.c_str(), r.seconds, r.result.stats.lane_width,
+                r.result.stats.mean_cone_fraction(),
                 r.result.stats.gate_eval_savings());
   std::printf("  compiled vs reference @1 thread: %.2fx\n", speedup);
   return 0;

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Gate CI on fault-sim throughput regressions.
+
+Compares a freshly produced perf_fault_sim --json report against the
+committed baseline (bench/baseline/BENCH_fault_sim.json) and exits 1
+when any run's throughput regressed by more than the threshold.
+
+CI machines differ in clock speed from run to run, so by default each
+run's fault_vectors_per_s is normalized by the SAME file's
+"reference-1t" run — the scalar-pinned full-sweep reference, which
+scales with machine speed but never with kernel or pass changes. The
+ratio (run / reference) is therefore a machine-independent measure of
+how much faster than the naive engine each configuration is, and a drop
+in that ratio is a genuine code regression, not a slow runner.
+Use --absolute to compare raw fault_vectors_per_s instead (only
+meaningful on pinned, identical hardware).
+
+Exit codes: 0 ok (or skipped with a note), 1 regression, 2 usage error.
+
+To legitimately lower the numbers (e.g. a correctness fix with a known
+cost), refresh the baseline as documented in README.md and apply the
+`perf-baseline-refresh` label to the PR, which skips this gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench_regression: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def runs_by_label(report):
+    return {r["label"]: r for r in report.get("runs", [])}
+
+
+def metric(run, runs, absolute):
+    raw = float(run["fault_vectors_per_s"])
+    if absolute:
+        return raw
+    ref = runs.get("reference-1t")
+    if ref is None:
+        return None
+    return raw / float(ref["fault_vectors_per_s"])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="freshly produced BENCH_fault_sim.json")
+    ap.add_argument("baseline",
+                    help="committed bench/baseline/BENCH_fault_sim.json")
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="max tolerated throughput drop in %% (default 25)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="compare raw fault_vectors_per_s instead of "
+                         "reference-normalized ratios")
+    args = ap.parse_args()
+    if not 0 < args.threshold < 100:
+        print("check_bench_regression: --threshold must be in (0, 100)",
+              file=sys.stderr)
+        return 2
+
+    cur = load_report(args.current)
+    base = load_report(args.baseline)
+
+    # Ratios are only comparable on the same workload: if the benchmark
+    # shape itself changed (new design, vector count, fault universe),
+    # the baseline must be refreshed rather than compared against.
+    for key in ("design", "vectors", "faults", "logic_gates"):
+        cw = cur.get("workload", {}).get(key)
+        bw = base.get("workload", {}).get(key)
+        if cw != bw:
+            print(f"check_bench_regression: workload '{key}' differs "
+                  f"(current={cw}, baseline={bw}); skipping the gate — "
+                  f"refresh bench/baseline/BENCH_fault_sim.json")
+            return 0
+
+    cur_runs = runs_by_label(cur)
+    base_runs = runs_by_label(base)
+    if not args.absolute and "reference-1t" not in cur_runs:
+        print("check_bench_regression: current report has no reference-1t "
+              "run to normalize by", file=sys.stderr)
+        return 2
+    if not args.absolute and "reference-1t" not in base_runs:
+        print("check_bench_regression: baseline has no reference-1t run",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    compared = 0
+    for label, brun in base_runs.items():
+        if not args.absolute and label == "reference-1t":
+            continue  # the normalizer itself (ratio is 1.0 by definition)
+        crun = cur_runs.get(label)
+        if crun is None:
+            # A vanished run is worth a loud warning (a backend that no
+            # longer compiles in on CI hardware, a renamed label) but is
+            # not a throughput regression by itself.
+            print(f"  WARNING: baseline run '{label}' missing from the "
+                  f"current report")
+            continue
+        b = metric(brun, base_runs, args.absolute)
+        c = metric(crun, cur_runs, args.absolute)
+        compared += 1
+        change = (c - b) / b * 100.0
+        marker = ""
+        if change < -args.threshold:
+            failures.append(label)
+            marker = "  <-- REGRESSION"
+        print(f"  {label:24s} baseline {b:10.3f}  current {c:10.3f}  "
+              f"{change:+7.1f}%{marker}")
+    for label in cur_runs:
+        if label not in base_runs:
+            print(f"  note: new run '{label}' has no baseline yet")
+
+    if compared == 0:
+        print("check_bench_regression: no comparable runs between the two "
+              "reports", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"check_bench_regression: throughput regressed by more than "
+              f"{args.threshold:.0f}% on: {', '.join(failures)}",
+              file=sys.stderr)
+        print("If this is expected, refresh the baseline (see README.md) "
+              "and label the PR 'perf-baseline-refresh'.", file=sys.stderr)
+        return 1
+    print(f"check_bench_regression: {compared} runs within "
+          f"{args.threshold:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

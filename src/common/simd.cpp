@@ -1,0 +1,78 @@
+#include "common/simd.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fdbist::common {
+
+const char* simd_backend_name(SimdBackend b) {
+  switch (b) {
+  case SimdBackend::Auto: return "auto";
+  case SimdBackend::Scalar: return "scalar";
+  case SimdBackend::Avx2: return "avx2";
+  case SimdBackend::Avx512: return "avx512";
+  }
+  return "?";
+}
+
+std::size_t simd_lane_count(SimdBackend b) {
+  switch (b) {
+  case SimdBackend::Auto: return 0;
+  case SimdBackend::Scalar: return 64;
+  case SimdBackend::Avx2: return 256;
+  case SimdBackend::Avx512: return 512;
+  }
+  return 0;
+}
+
+bool cpu_supports(SimdBackend b) {
+  switch (b) {
+  case SimdBackend::Auto:
+  case SimdBackend::Scalar: return true;
+  case SimdBackend::Avx2:
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+  case SimdBackend::Avx512:
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+    return __builtin_cpu_supports("avx512f") != 0;
+#else
+    return false;
+#endif
+  }
+  return false;
+}
+
+bool parse_simd_backend(const char* s, SimdBackend& out) {
+  if (std::strcmp(s, "auto") == 0) {
+    out = SimdBackend::Auto;
+  } else if (std::strcmp(s, "scalar") == 0) {
+    out = SimdBackend::Scalar;
+  } else if (std::strcmp(s, "avx2") == 0) {
+    out = SimdBackend::Avx2;
+  } else if (std::strcmp(s, "avx512") == 0) {
+    out = SimdBackend::Avx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SimdBackend simd_backend_from_env() {
+  const char* s = std::getenv("FDBIST_SIMD");
+  if (s == nullptr || s[0] == '\0') return SimdBackend::Auto;
+  SimdBackend b = SimdBackend::Auto;
+  if (!parse_simd_backend(s, b)) {
+    std::fprintf(stderr,
+                 "fdbist: FDBIST_SIMD=\"%s\" is not a SIMD backend "
+                 "(expected scalar|avx2|avx512|auto)\n",
+                 s);
+    std::exit(2);
+  }
+  return b;
+}
+
+} // namespace fdbist::common

@@ -118,6 +118,8 @@ Expected<CampaignResult> run_campaign(const gate::Netlist& nl,
     FaultSimOptions fopt;
     fopt.num_threads = opt.num_threads;
     fopt.engine = opt.engine;
+    fopt.simd = opt.simd;
+    fopt.passes = opt.passes;
     fopt.cancel = &token;
     if (opt.progress)
       fopt.progress = [&](std::size_t done, std::size_t) {

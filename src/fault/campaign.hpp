@@ -16,7 +16,8 @@
 //     uninterrupted run, for any thread count.
 //
 //   * Cancellation + deadline. A caller-owned CancelToken and/or a
-//     wall-clock budget stop workers at 63-fault batch boundaries.
+//     wall-clock budget stop workers at batch boundaries (lanes-1
+//     faults per batch, per the resolved SIMD backend).
 //     The partial result is returned (coverage-so-far, per-fault
 //     finalized flags), never discarded, and stop_reason says why.
 //
@@ -49,6 +50,17 @@ struct CampaignOptions {
   /// resumed under a different engine than the one that wrote the
   /// checkpoint and the merged result stays bit-identical.
   FaultSimEngine engine = FaultSimEngine::Auto;
+
+  /// SIMD backend per slice (same contract as FaultSimOptions). Like
+  /// `engine`, NOT part of the checkpoint fingerprint: verdicts are
+  /// width-independent, so a campaign checkpointed at one lane width
+  /// resumes bit-identically at another.
+  common::SimdBackend simd = common::SimdBackend::Auto;
+
+  /// Netlist passes per slice (same contract as FaultSimOptions).
+  /// Also outside the checkpoint fingerprint — fault sites are
+  /// protected, so verdicts are pass-configuration-independent.
+  gate::PassOptions passes;
 
   /// Faults per checkpoint slice; a checkpoint is written after each
   /// slice is finalized. Smaller = finer-grained resume, more writes.

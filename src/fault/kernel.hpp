@@ -1,0 +1,114 @@
+// Width-dispatched batch kernels for the fault simulator.
+//
+// The batch loop in fault/simulator.cpp is width-agnostic: it talks to
+// an abstract BatchWorker whose concrete instantiation fixes the
+// simulation word (common/simd.hpp). One virtual call per *batch* —
+// hundreds of simulated cycles — so the dispatch cost is noise while
+// the gate-evaluation inner loops compile as non-virtual, fully inlined
+// code inside exactly one translation unit per ISA:
+//
+//   kernel.cpp        simd_word<1>,  64 lanes,  baseline flags
+//   kernel_avx2.cpp   simd_word<4>, 256 lanes,  -mavx2
+//   kernel_avx512.cpp simd_word<8>, 512 lanes,  -mavx512f
+//
+// Confining each wide instantiation to its own TU (and keeping the
+// shared std:: template instantiations out of the ISA TUs via the
+// helpers below) is what makes it safe to build the AVX-512 kernel into
+// a binary that must still run on machines without AVX-512: no COMDAT
+// the linker could resolve to an ISA-tainted copy is emitted there.
+//
+// Backend resolution (per simulate_faults call): an explicit non-Auto
+// request wins, then the FDBIST_SIMD environment override, then the
+// widest backend that is both compiled in and supported by the CPU.
+// An unavailable request degrades to the best available backend rather
+// than failing — verdicts are bit-identical at every width, so the
+// choice is purely a throughput matter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/simd.hpp"
+#include "fault/simulator.hpp"
+#include "gate/schedule.hpp"
+#include "gate/sim.hpp"
+
+namespace fdbist::fault::detail {
+
+/// Per-worker batch executor. One instance per worker thread; the
+/// compiled schedule is shared read-only.
+class BatchWorker {
+public:
+  virtual ~BatchWorker() = default;
+
+  /// One batch of `batch.size()` faults (at most lanes-1) from reset
+  /// through the first `budget` vectors. Writes first-detection cycles
+  /// for the batch's own faults (disjoint detect_cycle entries across
+  /// batches) and appends the indices still undetected to `survivors`
+  /// in fault order. `trace` selects the engine: non-null runs the
+  /// cone-restricted compiled sweep, null the full-netlist reference
+  /// sweep. `full_sweep_gates` is the logic-gate count of the
+  /// *unoptimized* netlist, so gate_eval_savings stays comparable
+  /// across pass configurations.
+  virtual void run_batch(std::span<const Fault> faults,
+                         std::span<const std::int64_t> stimulus,
+                         std::span<const std::size_t> batch,
+                         std::size_t budget, const gate::GoodTrace* trace,
+                         std::uint64_t full_sweep_gates,
+                         std::int32_t* detect_cycle,
+                         std::vector<std::size_t>& survivors) = 0;
+
+  FaultSimStats stats;
+};
+
+/// Factory + geometry for one backend.
+class BatchKernel {
+public:
+  virtual ~BatchKernel() = default;
+  virtual std::size_t lanes() const = 0;
+  virtual common::SimdBackend backend() const = 0;
+  virtual std::unique_ptr<BatchWorker>
+  make_worker(const gate::CompiledSchedule& sched) const = 0;
+
+  /// Lane 0 is the good machine.
+  std::size_t faults_per_batch() const { return lanes() - 1; }
+};
+
+/// True when the backend's kernel TU was compiled into this binary.
+bool kernel_available(common::SimdBackend b);
+
+/// Resolve a request (possibly Auto) to a concrete backend that is
+/// compiled in and CPU-supported. Never returns Auto.
+common::SimdBackend resolve_simd_backend(common::SimdBackend requested);
+
+/// Kernel for a resolved backend (degrades to the best available one
+/// if the request cannot run here).
+const BatchKernel& batch_kernel(common::SimdBackend resolved);
+
+// --- helpers compiled with baseline flags (kernel.cpp), so the ISA TUs
+// --- never instantiate shared std::vector machinery themselves.
+
+/// sites = the batch's fault gates (cone roots), in batch order.
+void collect_batch_sites(std::span<const Fault> faults,
+                         std::span<const std::size_t> batch,
+                         std::vector<gate::NetId>& sites);
+
+/// Scan detected lane words into `survivors` (batch members whose lane
+/// k+1 is still clear), in fault order.
+void append_survivors(std::span<const std::size_t> batch,
+                      const std::uint64_t* detected_words,
+                      std::vector<std::size_t>& survivors);
+
+// Defined in the per-ISA TUs; null accessors exist only behind the
+// FDBIST_KERNEL_* macros CMake sets when the flags are available.
+const BatchKernel* scalar_batch_kernel();
+#if defined(FDBIST_KERNEL_AVX2)
+const BatchKernel* avx2_batch_kernel();
+#endif
+#if defined(FDBIST_KERNEL_AVX512)
+const BatchKernel* avx512_batch_kernel();
+#endif
+
+} // namespace fdbist::fault::detail

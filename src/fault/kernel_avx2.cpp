@@ -1,0 +1,18 @@
+// 256-lane batch kernel. This TU — and only this TU — is built with
+// -mavx2 (plus auto-vectorization disabled, so nothing but the
+// simd_word intrinsics emits AVX2 encodings into shared symbols); the
+// whole file compiles away when CMake cannot apply the flag.
+#if defined(FDBIST_SIMD_TU_AVX2)
+
+#include "fault/kernel_impl.hpp"
+
+namespace fdbist::fault::detail {
+
+const BatchKernel* avx2_batch_kernel() {
+  static const BatchKernelT<4> k(common::SimdBackend::Avx2);
+  return &k;
+}
+
+} // namespace fdbist::fault::detail
+
+#endif // FDBIST_SIMD_TU_AVX2

@@ -1,0 +1,20 @@
+// 512-lane batch kernel. This TU — and only this TU — is built with
+// -mavx512f (plus auto-vectorization disabled, so nothing but the
+// simd_word intrinsics emits EVEX encodings into shared symbols); the
+// whole file compiles away when CMake cannot apply the flag. The
+// kernel is selected at runtime only on CPUs reporting avx512f, so
+// building it in is safe for every deployment target.
+#if defined(FDBIST_SIMD_TU_AVX512)
+
+#include "fault/kernel_impl.hpp"
+
+namespace fdbist::fault::detail {
+
+const BatchKernel* avx512_batch_kernel() {
+  static const BatchKernelT<8> k(common::SimdBackend::Avx512);
+  return &k;
+}
+
+} // namespace fdbist::fault::detail
+
+#endif // FDBIST_SIMD_TU_AVX512

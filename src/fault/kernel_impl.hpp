@@ -1,0 +1,115 @@
+// Templated batch-kernel implementation, included by exactly one TU
+// per ISA (kernel.cpp / kernel_avx2.cpp / kernel_avx512.cpp — see
+// kernel.hpp for why the instantiations must not be shared). Anything
+// that would instantiate std:: templates common to the rest of the
+// build (vector growth, etc.) is delegated to the baseline-compiled
+// helpers in kernel.cpp.
+#pragma once
+
+#include <bit>
+
+#include "fault/kernel.hpp"
+
+namespace fdbist::fault::detail {
+
+template <int Words> class BatchWorkerT final : public BatchWorker {
+public:
+  using W = common::simd_word<Words>;
+
+  explicit BatchWorkerT(const gate::CompiledSchedule& sched) : sim_(sched) {}
+
+  /// One batch from reset through the first `budget` vectors. Because
+  /// every batch restarts from reset with the same stimulus prefix,
+  /// detection cycles are exact regardless of how faults are staged
+  /// into batches — or how many lanes a word carries.
+  void run_batch(std::span<const Fault> faults,
+                 std::span<const std::int64_t> stimulus,
+                 std::span<const std::size_t> batch, std::size_t budget,
+                 const gate::GoodTrace* trace,
+                 std::uint64_t full_sweep_gates, std::int32_t* detect_cycle,
+                 std::vector<std::size_t>& survivors) override {
+    sim_.reset();
+    sim_.clear_faults();
+    // Faults may only land in the lanes this batch scans below.
+    sim_.limit_lanes(batch.size() + 1);
+    W live = W::zero();
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      const Fault& f = faults[batch[k]];
+      const W mask = W::lane_bit(static_cast<int>(k + 1));
+      sim_.add_fault(f.gate, f.site, f.stuck, mask);
+      live |= mask;
+    }
+
+    const std::size_t logic_gates = sim_.schedule().logic_gates();
+    std::size_t cone_gates = logic_gates;
+    if (trace != nullptr) {
+      collect_batch_sites(faults, batch, sites_);
+      sim_.schedule().collect_cone(sites_, ws_, cone_);
+      cone_gates = cone_.gates.size();
+    }
+
+    W detected = W::zero();
+    std::size_t found = 0;
+    std::size_t cycles = 0;
+    for (std::size_t t = 0; t < budget; ++t) {
+      W newly;
+      if (trace != nullptr) {
+        const std::uint64_t* row = trace->row(t);
+        sim_.step_cone(cone_, row);
+        newly = sim_.cone_output_mismatch_wide(cone_, row) & live & ~detected;
+      } else {
+        sim_.step_broadcast(stimulus[t]);
+        newly = sim_.output_mismatch_wide() & live & ~detected;
+      }
+      ++cycles;
+      if (newly.none()) continue;
+      detected |= newly;
+      for (int wi = 0; wi < Words; ++wi) {
+        std::uint64_t m = newly.word(wi);
+        while (m != 0) {
+          const int bit = std::countr_zero(m);
+          m &= m - 1;
+          const std::size_t lane = std::size_t(wi) * 64 + std::size_t(bit);
+          detect_cycle[batch[lane - 1]] = static_cast<std::int32_t>(t);
+          ++found;
+        }
+      }
+      if (found == batch.size()) break;
+    }
+    append_survivors(batch, detected.w, survivors);
+
+    stats.batches += 1;
+    stats.cycles_simulated += cycles;
+    stats.cycles_budgeted += budget;
+    stats.gates_evaluated += std::uint64_t(cone_gates) * cycles;
+    stats.gates_full_sweep += full_sweep_gates * cycles;
+    stats.cone_fraction_sum += full_sweep_gates == 0
+                                   ? 1.0
+                                   : double(cone_gates) /
+                                         double(full_sweep_gates);
+  }
+
+private:
+  gate::WordSimT<W> sim_;
+  gate::CompiledSchedule::ConeWorkspace ws_;
+  gate::CompiledSchedule::Cone cone_;
+  std::vector<gate::NetId> sites_;
+};
+
+template <int Words> class BatchKernelT final : public BatchKernel {
+public:
+  explicit BatchKernelT(common::SimdBackend b) : backend_(b) {}
+  std::size_t lanes() const override {
+    return std::size_t(Words) * 64;
+  }
+  common::SimdBackend backend() const override { return backend_; }
+  std::unique_ptr<BatchWorker>
+  make_worker(const gate::CompiledSchedule& sched) const override {
+    return std::make_unique<BatchWorkerT<Words>>(sched);
+  }
+
+private:
+  common::SimdBackend backend_;
+};
+
+} // namespace fdbist::fault::detail

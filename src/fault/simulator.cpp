@@ -1,13 +1,14 @@
 #include "fault/simulator.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <limits>
 #include <mutex>
 #include <optional>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "fault/kernel.hpp"
+#include "gate/passes/pass.hpp"
 #include "gate/schedule.hpp"
 #include "gate/sim.hpp"
 
@@ -43,96 +44,20 @@ std::vector<double> FaultSimResult::coverage_at(
 
 namespace {
 
-constexpr std::size_t kLanes = 63; // lane 0 is the good machine
-
-/// Good traces above this size force the FullSweep fallback (Auto only).
+/// Trace plus widened worker state above this size force the FullSweep
+/// fallback (Auto only).
 constexpr std::size_t kGoodTraceMemCap = std::size_t{512} << 20;
 
-/// Per-worker state for the shared batch kernel. One compiled schedule
-/// is shared read-only; everything mutable is private to the worker.
-struct Worker {
-  explicit Worker(const gate::CompiledSchedule& sched) : sim(sched) {}
-  gate::WordSim sim;
-  gate::CompiledSchedule::ConeWorkspace ws;
-  gate::CompiledSchedule::Cone cone;
-  std::vector<gate::NetId> sites;
-  FaultSimStats stats;
-};
-
-/// Scan `detected` lanes into per-fault first-detection cycles and
-/// append still-undetected batch members to `survivors` in fault order.
-void finish_batch(std::span<const std::size_t> batch, std::uint64_t detected,
-                  std::vector<std::size_t>& survivors) {
-  for (std::size_t k = 0; k < batch.size(); ++k)
-    if (!((detected >> (k + 1)) & 1u)) survivors.push_back(batch[k]);
-}
-
-/// One 63-fault batch from reset through the first `budget` vectors.
-/// Writes first-detection cycles for the batch's own faults (disjoint
-/// detect_cycle entries across batches) and appends the indices still
-/// undetected to `survivors` in fault order. Because every batch
-/// restarts from reset with the same stimulus prefix, detection cycles
-/// are exact regardless of how faults are staged into batches. The
-/// `trace` selects the engine: non-null runs the cone-restricted
-/// compiled sweep, null the full-netlist reference sweep.
-void run_batch(Worker& w, std::span<const Fault> faults,
-               std::span<const std::int64_t> stimulus,
-               std::span<const std::size_t> batch, std::size_t budget,
-               const gate::GoodTrace* trace,
-               std::vector<std::int32_t>& detect_cycle,
-               std::vector<std::size_t>& survivors) {
-  gate::WordSim& sim = w.sim;
-  sim.reset();
-  sim.clear_faults();
-  std::uint64_t live = 0;
-  for (std::size_t k = 0; k < batch.size(); ++k) {
-    const Fault& f = faults[batch[k]];
-    const std::uint64_t mask = std::uint64_t{1} << (k + 1);
-    sim.add_fault(f.gate, f.site, f.stuck, mask);
-    live |= mask;
-  }
-
-  const std::size_t logic_gates = sim.schedule().logic_gates();
-  std::size_t cone_gates = logic_gates;
-  if (trace != nullptr) {
-    w.sites.clear();
-    for (const std::size_t idx : batch) w.sites.push_back(faults[idx].gate);
-    sim.schedule().collect_cone(w.sites, w.ws, w.cone);
-    cone_gates = w.cone.gates.size();
-  }
-
-  std::uint64_t detected = 0;
-  std::size_t cycles = 0;
-  for (std::size_t t = 0; t < budget; ++t) {
-    std::uint64_t newly;
-    if (trace != nullptr) {
-      const std::uint64_t* row = trace->row(t);
-      sim.step_cone(w.cone, row);
-      newly = sim.cone_output_mismatch(w.cone, row) & live & ~detected;
-    } else {
-      sim.step_broadcast(stimulus[t]);
-      newly = sim.output_mismatch() & live & ~detected;
-    }
-    ++cycles;
-    if (newly == 0) continue;
-    detected |= newly;
-    while (newly != 0) {
-      const int lane = std::countr_zero(newly);
-      newly &= newly - 1;
-      detect_cycle[batch[std::size_t(lane) - 1]] =
-          static_cast<std::int32_t>(t);
-    }
-    if (detected == live) break;
-  }
-  finish_batch(batch, detected, survivors);
-
-  w.stats.batches += 1;
-  w.stats.cycles_simulated += cycles;
-  w.stats.cycles_budgeted += budget;
-  w.stats.gates_evaluated += std::uint64_t(cone_gates) * cycles;
-  w.stats.gates_full_sweep += std::uint64_t(logic_gates) * cycles;
-  w.stats.cone_fraction_sum +=
-      logic_gates == 0 ? 1.0 : double(cone_gates) / double(logic_gates);
+/// Compiled-engine memory estimate for the Auto decision: the good
+/// trace (one bit per net per cycle — width-independent) plus each
+/// worker's per-net simulation word at the resolved lane width. The
+/// widened words are exactly why this must scale with the backend: at
+/// 512 lanes a worker's net array is 8x the scalar one.
+std::size_t compiled_mem_estimate(std::size_t nets, std::size_t cycles,
+                                  std::size_t workers,
+                                  std::size_t lane_width) {
+  return gate::GoodTrace::bytes_needed(nets, cycles) +
+         workers * nets * (lane_width / 8);
 }
 
 } // namespace
@@ -155,16 +80,57 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
   result.detect_cycle.assign(faults.size(), -1);
   result.finalized.assign(faults.size(), 0);
 
-  // Compile once; shared read-only by every worker of every pass.
-  const gate::CompiledSchedule sched(nl);
+  const common::SimdBackend simd = detail::resolve_simd_backend(opt.simd);
+  const detail::BatchKernel& kernel = detail::batch_kernel(simd);
+  const std::size_t fpb = kernel.faults_per_batch();
+  const std::size_t threads = common::resolve_threads(opt.num_threads);
+
   FaultSimEngine engine = opt.engine;
   if (engine == FaultSimEngine::Auto)
-    engine = gate::GoodTrace::bytes_needed(nl.size(), stimulus.size()) <=
-                     kGoodTraceMemCap
+    engine = compiled_mem_estimate(nl.size(), stimulus.size(), threads,
+                                   kernel.lanes()) <= kGoodTraceMemCap
                  ? FaultSimEngine::Compiled
                  : FaultSimEngine::FullSweep;
 
-  const std::size_t threads = common::resolve_threads(opt.num_threads);
+  // Optimization pipeline (Compiled only; FullSweep stays the
+  // unoptimized reference). The gates hosting this run's faults are
+  // protected, so every fault re-targets cleanly via net_map and the
+  // verdicts are bit-identical to the unoptimized netlist.
+  const gate::Netlist* sim_nl = &nl;
+  std::vector<Fault> remapped;
+  std::span<const Fault> sim_faults = faults;
+  std::optional<gate::PassPipelineResult> pipeline;
+  if (engine == FaultSimEngine::Compiled && opt.passes.any() &&
+      !faults.empty()) {
+    std::vector<gate::NetId> sites;
+    sites.reserve(faults.size());
+    for (const Fault& f : faults) sites.push_back(f.gate);
+    pipeline.emplace(gate::run_passes(nl, sites, opt.passes));
+    remapped.assign(faults.begin(), faults.end());
+    for (Fault& f : remapped) {
+      const gate::NetId m = pipeline->net_map[std::size_t(f.gate)];
+      FDBIST_ASSERT(m != gate::kNoNet, "pass pipeline dropped a fault site");
+      f.gate = m;
+    }
+    sim_faults = remapped;
+    sim_nl = &pipeline->netlist;
+    result.stats.pipeline_runs = 1;
+    result.stats.pipeline_gates_before = pipeline->gates_before;
+    result.stats.pipeline_gates_after = pipeline->gates_after;
+    for (const gate::PassDelta& pd : pipeline->deltas) {
+      auto& c = result.stats.passes[std::size_t(pd.kind)];
+      c.runs += pd.runs;
+      c.gates_removed += pd.gates_removed;
+      c.edges_removed += pd.edges_removed;
+      c.regs_removed += pd.regs_removed;
+    }
+  }
+
+  // Compile once; shared read-only by every worker of every pass. The
+  // full-sweep gate baseline stays the *original* netlist's, so the
+  // savings counters are comparable across pass configurations.
+  const gate::CompiledSchedule sched(*sim_nl);
+  const std::uint64_t full_sweep_gates = nl.logic_gate_count();
 
   // Progress counts *finalized* faults — detected, or survived the full
   // stimulus — so the reported sequence climbs monotonically to the
@@ -182,12 +148,13 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
   };
 
   // One pass over `indices` with the first `budget` vectors: the
-  // 63-fault batches are sharded dynamically across workers, each
-  // owning a private executor (gate::WordSim over the shared schedule)
-  // and writing disjoint detect_cycle entries. Per-batch survivor lists
-  // are concatenated in batch order afterwards, which makes the
-  // returned order — and therefore the batch composition of the next
-  // pass — identical to the sequential engine's for any thread count.
+  // batches are sharded dynamically across workers, each owning a
+  // private executor (a width-dispatched BatchWorker over the shared
+  // schedule) and writing disjoint detect_cycle entries. Per-batch
+  // survivor lists are concatenated in batch order afterwards, which
+  // makes the returned order — and therefore the batch composition of
+  // the next pass — identical to the sequential engine's for any
+  // thread count.
   //
   // The compiled engine records the good trace once per pass on the
   // calling thread; batches then touch only their fault cones.
@@ -205,24 +172,26 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
     }
     const gate::GoodTrace* trace_ptr = trace ? &*trace : nullptr;
 
-    const std::size_t num_batches = (indices.size() + kLanes - 1) / kLanes;
+    const std::size_t num_batches = (indices.size() + fpb - 1) / fpb;
     const std::size_t workers =
         std::max<std::size_t>(1, std::min(threads, num_batches));
-    std::vector<Worker> pool;
+    std::vector<std::unique_ptr<detail::BatchWorker>> pool;
     pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(sched);
+    for (std::size_t w = 0; w < workers; ++w)
+      pool.push_back(kernel.make_worker(sched));
 
     std::vector<std::vector<std::size_t>> batch_survivors(num_batches);
     std::vector<std::uint8_t> batch_ran(num_batches, 0);
     common::parallel_for(
         num_batches, workers, opt.cancel,
         [&](std::size_t worker, std::size_t b) {
-          const std::size_t base = b * kLanes;
-          const std::size_t count = std::min(kLanes, indices.size() - base);
+          const std::size_t base = b * fpb;
+          const std::size_t count = std::min(fpb, indices.size() - base);
           std::vector<std::size_t>& survivors = batch_survivors[b];
-          run_batch(pool[worker], faults, stimulus,
-                    {indices.data() + base, count}, budget, trace_ptr,
-                    result.detect_cycle, survivors);
+          pool[worker]->run_batch(sim_faults, stimulus,
+                                  {indices.data() + base, count}, budget,
+                                  trace_ptr, full_sweep_gates,
+                                  result.detect_cycle.data(), survivors);
           batch_ran[b] = 1;
           report_finalized(final_pass ? count : count - survivors.size());
         });
@@ -230,13 +199,13 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
     // Worker-local stats merge after the join; the sums are over the
     // set of batches that ran, so they are order- and thread-count-
     // independent on complete runs.
-    for (const Worker& w : pool) result.stats.merge(w.stats);
+    for (const auto& w : pool) result.stats.merge(w->stats);
 
     std::vector<std::size_t> survivors;
     for (std::size_t b = 0; b < num_batches; ++b) {
       if (!batch_ran[b]) continue;
-      const std::size_t base = b * kLanes;
-      const std::size_t count = std::min(kLanes, indices.size() - base);
+      const std::size_t base = b * fpb;
+      const std::size_t count = std::min(fpb, indices.size() - base);
       for (std::size_t k = 0; k < count; ++k) {
         const std::size_t idx = indices[base + k];
         if (final_pass || result.detect_cycle[idx] >= 0)
@@ -248,7 +217,9 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
     return survivors;
   };
 
-  auto cancelled = [&] { return opt.cancel != nullptr && opt.cancel->cancelled(); };
+  auto cancelled = [&] {
+    return opt.cancel != nullptr && opt.cancel->cancelled();
+  };
 
   // Stage 1: a short budget weeds out the easily detected majority so
   // only genuinely hard faults pay for long batches. Stage 2 finishes
@@ -264,7 +235,10 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
   for (const std::int32_t c : result.detect_cycle)
     if (c >= 0) ++result.detected;
   result.complete = result.finalized_count() == faults.size();
-  result.stats.engine = engine; // merges may have left a default in place
+  // Merges may have left worker defaults in place.
+  result.stats.engine = engine;
+  result.stats.lane_width = kernel.lanes();
+  result.stats.simd = kernel.backend();
   return result;
 }
 

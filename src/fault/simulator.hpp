@@ -1,10 +1,11 @@
 // Parallel sequential fault simulation.
 //
-// Classic 63-faults-per-word scheme: lane 0 is the good machine, lanes
-// 1..63 each carry one injected stuck-at fault. Each batch runs the full
-// stimulus (with each fault's own register state evolving in its lane)
-// until every fault in the batch has produced an output difference or the
-// vector budget is exhausted. Detection is observation at the filter's
+// Classic N-1-faults-per-word scheme: lane 0 is the good machine, the
+// remaining lanes of the simulation word (63, 255 or 511 depending on
+// the SIMD backend — common/simd.hpp) each carry one injected stuck-at
+// fault. Each batch runs the full stimulus (with each fault's own
+// register state evolving in its lane) until every fault in the batch
+// has produced an output difference or the vector budget is exhausted. Detection is observation at the filter's
 // output word with no response compaction — the paper's "no aliasing in
 // the response analyzer" assumption.
 //
@@ -27,13 +28,16 @@
 //     when the good trace would not fit in memory.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "fault/fault.hpp"
+#include "gate/passes/pass.hpp"
 
 namespace fdbist::fault {
 
@@ -58,7 +62,7 @@ struct FaultSimStats {
   /// Clock cycles actually stepped across all batches.
   std::uint64_t cycles_simulated = 0;
   /// Clock cycles batches were budgeted for; the difference from
-  /// cycles_simulated is early exit (all 63 faults detected).
+  /// cycles_simulated is early exit (every fault in the batch detected).
   std::uint64_t cycles_budgeted = 0;
   /// Logic-gate evaluations performed in batch clock loops.
   std::uint64_t gates_evaluated = 0;
@@ -67,8 +71,28 @@ struct FaultSimStats {
   std::uint64_t gates_full_sweep = 0;
   /// Fault-free cycles spent recording good traces (compiled engine).
   std::uint64_t good_trace_cycles = 0;
-  /// Sum over batches of |cone gates| / |logic gates|.
+  /// Sum over batches of |cone gates| / |original logic gates| (the
+  /// unoptimized denominator, so savings stay comparable across pass
+  /// configurations).
   double cone_fraction_sum = 0;
+  /// Simulation word width in lanes (64 scalar, 256 AVX2, 512 AVX-512)
+  /// and the backend that produced it. Never Auto in a result.
+  std::size_t lane_width = 0;
+  common::SimdBackend simd = common::SimdBackend::Auto;
+  /// Netlist-pass observability: pipeline executions (one per
+  /// simulate_faults call that ran passes), original/optimized
+  /// logic-gate counts summed over those executions, and per-pass
+  /// removal counters indexed by gate::PassKind.
+  std::uint64_t pipeline_runs = 0;
+  std::uint64_t pipeline_gates_before = 0;
+  std::uint64_t pipeline_gates_after = 0;
+  struct PassCounters {
+    std::uint64_t runs = 0;
+    std::uint64_t gates_removed = 0;
+    std::uint64_t edges_removed = 0;
+    std::uint64_t regs_removed = 0;
+  };
+  std::array<PassCounters, gate::kPassKinds> passes{};
 
   /// Mean fraction of the netlist a batch actually evaluates (1.0 for
   /// the full-sweep engine).
@@ -91,7 +115,11 @@ struct FaultSimStats {
   /// Accumulate another run's counters (campaign slices, worker-local
   /// partials). Engines must agree unless one side is empty.
   void merge(const FaultSimStats& o) {
-    if (batches == 0) engine = o.engine;
+    if (batches == 0) {
+      engine = o.engine;
+      lane_width = o.lane_width;
+      simd = o.simd;
+    }
     batches += o.batches;
     cycles_simulated += o.cycles_simulated;
     cycles_budgeted += o.cycles_budgeted;
@@ -99,11 +127,20 @@ struct FaultSimStats {
     gates_full_sweep += o.gates_full_sweep;
     good_trace_cycles += o.good_trace_cycles;
     cone_fraction_sum += o.cone_fraction_sum;
+    pipeline_runs += o.pipeline_runs;
+    pipeline_gates_before += o.pipeline_gates_before;
+    pipeline_gates_after += o.pipeline_gates_after;
+    for (std::size_t k = 0; k < passes.size(); ++k) {
+      passes[k].runs += o.passes[k].runs;
+      passes[k].gates_removed += o.passes[k].gates_removed;
+      passes[k].edges_removed += o.passes[k].edges_removed;
+      passes[k].regs_removed += o.passes[k].regs_removed;
+    }
   }
 };
 
 struct FaultSimOptions {
-  /// Worker threads the 63-fault batches are sharded across: 0 = one
+  /// Worker threads the fault batches are sharded across: 0 = one
   /// worker per hardware thread, 1 = the single-threaded legacy path
   /// (no threads are spawned). The result is bit-identical for every
   /// value — each shard owns private gate-sim state and writes disjoint
@@ -121,17 +158,31 @@ struct FaultSimOptions {
   std::function<void(std::size_t, std::size_t)> progress;
 
   /// Optional cooperative cancellation (caller keeps ownership; the
-  /// token must outlive the call). Workers poll at 63-fault batch
+  /// token must outlive the call). Workers poll at batch
   /// boundaries: once the token fires — explicit cancel() or an expired
   /// deadline — no new batch starts, in-flight batches finish, and a
   /// valid *partial* FaultSimResult comes back with complete == false.
   /// Coverage-so-far is reported, never discarded.
   const common::CancelToken* cancel = nullptr;
 
-  /// Batch engine. Auto resolves to Compiled unless the recorded good
-  /// trace for the full stimulus would exceed an internal memory cap
-  /// (then FullSweep). Verdicts are bit-identical either way.
+  /// Batch engine. Auto resolves to Compiled unless the trace plus the
+  /// workers' widened per-net simulation state would exceed an internal
+  /// memory cap (then FullSweep). Verdicts are bit-identical either
+  /// way.
   FaultSimEngine engine = FaultSimEngine::Auto;
+
+  /// SIMD backend for the batch kernel. Auto honours the FDBIST_SIMD
+  /// environment override, else picks the widest backend compiled in
+  /// and supported by the CPU; an unavailable explicit request
+  /// degrades to the best available. Verdicts are bit-identical at
+  /// every width — only batch geometry and throughput change.
+  common::SimdBackend simd = common::SimdBackend::Auto;
+
+  /// Netlist optimization passes run in front of schedule compilation
+  /// (Compiled engine only — FullSweep stays the unoptimized
+  /// reference). Fault sites are protected, so verdicts are
+  /// bit-identical with any subset enabled; see gate/passes/pass.hpp.
+  gate::PassOptions passes;
 };
 
 struct FaultSimResult {
@@ -176,7 +227,8 @@ struct FaultSimResult {
 /// Simulate every fault against the stimulus (raw input words for the
 /// design's single primary input). Returns per-fault first-detection
 /// cycles. Deterministic for any FaultSimOptions::num_threads; batches
-/// of 63 faults in the given order. Each fault's detect cycle is a pure
+/// of lanes-1 faults in the given order (the lane count follows the
+/// resolved SIMD backend). Each fault's detect cycle is a pure
 /// function of (netlist, stimulus, fault) — batch composition and fault
 /// ordering never change it — which is what makes sliced/checkpointed
 /// campaigns (fault/campaign.hpp) bit-identical to one-shot runs.

@@ -1,0 +1,106 @@
+// Stuck-at constant propagation + the per-lane algebraic folds.
+//
+// One ascending scan: operands are always resolved through earlier
+// folds, so constants propagate transitively in a single pass. Every
+// rewrite is a per-lane identity over the *unprotected* gates involved
+// (see the contract in pass.hpp): constants absorb/neutralize through
+// the folded gate's own nominal function, idempotence/self-cancellation
+// use net identity (the same per-lane word on both pins), and
+// complement/double-negation detection trusts a NOT gate's function
+// only when that NOT gate is itself unprotected.
+
+#include "gate/passes/passes_detail.hpp"
+
+namespace fdbist::gate::detail {
+namespace {
+
+class ConstantFoldPass final : public Pass {
+public:
+  PassKind kind() const override { return PassKind::ConstantFold; }
+  const char* name() const override { return pass_name(kind()); }
+
+  PassDelta run(PassContext& ctx) const override {
+    PassDelta d;
+    d.kind = kind();
+    d.runs = 1;
+    const Netlist& nl = ctx.original;
+
+    auto to_const = [&](NetId id, int c, int arity) {
+      ctx.const_val[std::size_t(id)] = static_cast<std::int8_t>(c);
+      d.gates_removed += 1;
+      d.edges_removed += std::uint64_t(arity);
+    };
+    auto to_alias = [&](NetId id, NetId target, int arity) {
+      ctx.alias[std::size_t(id)] = ctx.resolve(target);
+      d.gates_removed += 1;
+      d.edges_removed += std::uint64_t(arity);
+    };
+    // Is representative `rn` a NOT of representative `rx` whose
+    // function we may trust (unprotected, not itself folded)?
+    auto is_not_of = [&](NetId rn, NetId rx) {
+      const Gate& g = nl.gate(rn);
+      return g.op == GateOp::Not && ctx.is_protected[std::size_t(rn)] == 0 &&
+             ctx.const_val[std::size_t(rn)] < 0 && ctx.resolve(g.a) == rx;
+    };
+
+    for (NetId i = 0; std::size_t(i) < nl.size(); ++i) {
+      if (!ctx.foldable(i)) continue;
+      const Gate& g = nl.gate(i);
+      const NetId ra = ctx.resolve(g.a);
+      const std::int8_t ca = ctx.const_val[std::size_t(ra)];
+
+      if (g.op == GateOp::Not) {
+        const Gate& ga = nl.gate(ra);
+        if (ca >= 0) {
+          to_const(i, 1 - ca, 1);
+        } else if (ga.op == GateOp::Not &&
+                   ctx.is_protected[std::size_t(ra)] == 0) {
+          // ra is a trustworthy NOT: NOT(NOT(x)) = x.
+          to_alias(i, ga.a, 1);
+        }
+        continue;
+      }
+
+      const NetId rb = ctx.resolve(g.b);
+      const std::int8_t cb = ctx.const_val[std::size_t(rb)];
+      const bool complement = (ca < 0 && cb < 0) &&
+                              (is_not_of(ra, rb) || is_not_of(rb, ra));
+      switch (g.op) {
+      case GateOp::And:
+        if (ca == 0 || cb == 0) to_const(i, 0, 2);
+        else if (ca == 1 && cb == 1) to_const(i, 1, 2);
+        else if (ca == 1) to_alias(i, rb, 2);
+        else if (cb == 1) to_alias(i, ra, 2);
+        else if (ra == rb) to_alias(i, ra, 2);
+        else if (complement) to_const(i, 0, 2);
+        break;
+      case GateOp::Or:
+        if (ca == 1 || cb == 1) to_const(i, 1, 2);
+        else if (ca == 0 && cb == 0) to_const(i, 0, 2);
+        else if (ca == 0) to_alias(i, rb, 2);
+        else if (cb == 0) to_alias(i, ra, 2);
+        else if (ra == rb) to_alias(i, ra, 2);
+        else if (complement) to_const(i, 1, 2);
+        break;
+      case GateOp::Xor:
+        if (ca >= 0 && cb >= 0) to_const(i, ca ^ cb, 2);
+        else if (ca == 0) to_alias(i, rb, 2);
+        else if (cb == 0) to_alias(i, ra, 2);
+        else if (ra == rb) to_const(i, 0, 2);
+        else if (complement) to_const(i, 1, 2);
+        break;
+      default: break;
+      }
+    }
+    return d;
+  }
+};
+
+} // namespace
+
+const Pass& constant_fold_pass() {
+  static const ConstantFoldPass p;
+  return p;
+}
+
+} // namespace fdbist::gate::detail

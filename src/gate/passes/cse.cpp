@@ -1,0 +1,74 @@
+// Structural CSE: dedup gates computing the same function of the same
+// nets — in a lowered filter, whole columns of identical full-adder
+// cells fed from shared partial products.
+//
+// Two unprotected gates with the same op and the same resolved operand
+// nets carry the same word in every lane (faulty lanes included, since
+// neither gate's own function is perturbed), so the later one aliases
+// onto the earlier. Protected gates neither enter the value table nor
+// serve as representatives: merging *into* a faulty gate would leak its
+// fault to foreign readers, and merging it *away* would delete the
+// fault site.
+
+#include <array>
+#include <unordered_map>
+#include <utility>
+
+#include "gate/passes/passes_detail.hpp"
+
+namespace fdbist::gate::detail {
+namespace {
+
+class CsePass final : public Pass {
+public:
+  PassKind kind() const override { return PassKind::Cse; }
+  const char* name() const override { return pass_name(kind()); }
+
+  PassDelta run(PassContext& ctx) const override {
+    PassDelta d;
+    d.kind = kind();
+    d.runs = 1;
+    const Netlist& nl = ctx.original;
+
+    // One exact-key table per logic op: key = (operand a, operand b) as
+    // raw 32-bit patterns (kNoNet encodes fine), operands normalized
+    // for the commutative ops. Keys are exact, so a hit is a proof.
+    std::array<std::unordered_map<std::uint64_t, NetId>, 4> table;
+    auto op_index = [](GateOp op) {
+      switch (op) {
+      case GateOp::Not: return 0;
+      case GateOp::And: return 1;
+      case GateOp::Or: return 2;
+      default: return 3; // Xor
+      }
+    };
+
+    for (NetId i = 0; std::size_t(i) < nl.size(); ++i) {
+      if (!ctx.foldable(i)) continue;
+      const Gate& g = nl.gate(i);
+      NetId ka = ctx.resolve(g.a);
+      NetId kb = g.op == GateOp::Not ? kNoNet : ctx.resolve(g.b);
+      if (g.op != GateOp::Not && ka > kb) std::swap(ka, kb);
+      const std::uint64_t key =
+          (std::uint64_t(static_cast<std::uint32_t>(ka)) << 32) |
+          std::uint64_t(static_cast<std::uint32_t>(kb));
+      const auto [it, inserted] =
+          table[std::size_t(op_index(g.op))].try_emplace(key, i);
+      if (!inserted) {
+        ctx.alias[std::size_t(i)] = it->second;
+        d.gates_removed += 1;
+        d.edges_removed += g.op == GateOp::Not ? 1 : 2;
+      }
+    }
+    return d;
+  }
+};
+
+} // namespace
+
+const Pass& cse_pass() {
+  static const CsePass p;
+  return p;
+}
+
+} // namespace fdbist::gate::detail

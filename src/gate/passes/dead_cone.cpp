@@ -1,0 +1,90 @@
+// Dead-cone elimination: drop every gate and register that cannot
+// reach an observed output in the rewritten structure.
+//
+// Fault effects propagate along structural edges (closed through
+// registers via the D->Q dependence), so logic with no resolved path to
+// an output can never influence a verdict. Liveness roots are the
+// observed outputs, every primary-input bit (the netlist's external
+// surface is preserved), and every protected gate (a fault site must
+// survive materialization even when its detection cone is empty — its
+// verdict is then "never detected", same as in the original netlist).
+// The backward closure re-enters through registers: a live RegOut pulls
+// in its D cone, iterated to fixpoint by the worklist.
+
+#include "gate/passes/passes_detail.hpp"
+
+namespace fdbist::gate::detail {
+namespace {
+
+class DeadConePass final : public Pass {
+public:
+  PassKind kind() const override { return PassKind::DeadCone; }
+  const char* name() const override { return pass_name(kind()); }
+
+  PassDelta run(PassContext& ctx) const override {
+    PassDelta d;
+    d.kind = kind();
+    d.runs = 1;
+    const Netlist& nl = ctx.original;
+    const std::size_t n = nl.size();
+
+    std::vector<NetId> reg_d_of_q(n, kNoNet);
+    for (const RegBit& rb : nl.registers())
+      reg_d_of_q[std::size_t(rb.q)] = rb.d;
+
+    std::vector<std::uint8_t> live(n, 0);
+    std::vector<NetId> stack;
+    auto mark = [&](NetId o) {
+      if (o == kNoNet) return;
+      const NetId r = ctx.resolve(o);
+      if (ctx.const_val[std::size_t(r)] >= 0) return; // folds to a const
+      if (live[std::size_t(r)] == 0) {
+        live[std::size_t(r)] = 1;
+        stack.push_back(r);
+      }
+    };
+
+    for (const auto& group : nl.outputs())
+      for (const NetId o : group) mark(o);
+    for (const auto& group : nl.inputs())
+      for (const NetId o : group) mark(o);
+    for (std::size_t i = 0; i < n; ++i)
+      if (ctx.is_protected[i] != 0) mark(static_cast<NetId>(i));
+
+    while (!stack.empty()) {
+      const NetId r = stack.back();
+      stack.pop_back();
+      const Gate& g = nl.gate(r);
+      mark(g.a);
+      mark(g.b);
+      if (g.op == GateOp::RegOut) mark(reg_d_of_q[std::size_t(r)]);
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (live[i] != 0 || ctx.dead[i] != 0 || ctx.alias[i] != kNoNet ||
+          ctx.const_val[i] >= 0)
+        continue;
+      ctx.dead[i] = 1;
+      const GateOp op = nl.gate(static_cast<NetId>(i)).op;
+      if (op == GateOp::Not) {
+        d.gates_removed += 1;
+        d.edges_removed += 1;
+      } else if (op == GateOp::And || op == GateOp::Or || op == GateOp::Xor) {
+        d.gates_removed += 1;
+        d.edges_removed += 2;
+      }
+    }
+    for (const RegBit& rb : nl.registers())
+      if (ctx.dead[std::size_t(rb.q)] != 0) d.regs_removed += 1;
+    return d;
+  }
+};
+
+} // namespace
+
+const Pass& dead_cone_pass() {
+  static const DeadConePass p;
+  return p;
+}
+
+} // namespace fdbist::gate::detail

@@ -1,0 +1,182 @@
+#include "gate/passes/pass.hpp"
+
+#include "common/check.hpp"
+#include "gate/passes/passes_detail.hpp"
+
+namespace fdbist::gate {
+
+const char* pass_name(PassKind k) {
+  switch (k) {
+  case PassKind::ConstantFold: return "constant-fold";
+  case PassKind::Cse: return "cse";
+  case PassKind::DeadCone: return "dead-cone";
+  case PassKind::Relayout: return "relayout";
+  }
+  return "?";
+}
+
+PassContext::PassContext(const Netlist& nl, std::span<const NetId> protect)
+    : original(nl), is_protected(nl.size(), 0), alias(nl.size(), kNoNet),
+      const_val(nl.size(), -1), dead(nl.size(), 0) {
+  for (const NetId p : protect) {
+    FDBIST_REQUIRE(p >= 0 && std::size_t(p) < nl.size(),
+                   "protected net id out of range");
+    is_protected[std::size_t(p)] = 1;
+  }
+  for (std::size_t i = 0; i < nl.size(); ++i) {
+    const GateOp op = nl.gate(static_cast<NetId>(i)).op;
+    if (op == GateOp::Const0) const_val[i] = 0;
+    if (op == GateOp::Const1) const_val[i] = 1;
+  }
+}
+
+bool PassContext::foldable(NetId n) const {
+  const GateOp op = original.gate(n).op;
+  const bool logic = op == GateOp::Not || op == GateOp::And ||
+                     op == GateOp::Or || op == GateOp::Xor;
+  const auto i = std::size_t(n);
+  return logic && is_protected[i] == 0 && dead[i] == 0 &&
+         alias[i] == kNoNet && const_val[i] < 0;
+}
+
+const Pass& pass_for(PassKind k) {
+  switch (k) {
+  case PassKind::ConstantFold: return detail::constant_fold_pass();
+  case PassKind::Cse: return detail::cse_pass();
+  case PassKind::DeadCone: return detail::dead_cone_pass();
+  case PassKind::Relayout: return detail::relayout_pass();
+  }
+  FDBIST_ASSERT(false, "unknown pass kind");
+}
+
+namespace {
+
+/// Build the compact optimized netlist from the annotations. A net
+/// survives as its own gate iff it is unaliased, not constant, and not
+/// dead; aliased/constant nets map onto their representative (constants
+/// unify onto at most one Const0 and one Const1 gate, emitted first).
+PassPipelineResult materialize(const PassContext& ctx) {
+  const Netlist& nl = ctx.original;
+  const std::size_t n = nl.size();
+  PassPipelineResult out;
+  out.gates_before = nl.logic_gate_count();
+  out.net_map.assign(n, kNoNet);
+
+  std::vector<std::uint8_t> kept(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    kept[i] = ctx.alias[i] == kNoNet && ctx.const_val[i] < 0 &&
+              ctx.dead[i] == 0;
+
+  // Which canonical constants the surviving structure references.
+  bool need[2] = {false, false};
+  auto note_const = [&](NetId o) {
+    if (o == kNoNet) return;
+    const std::int8_t c = ctx.resolved_const(o);
+    if (c >= 0) need[c] = true;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!kept[i]) continue;
+    note_const(nl.gate(static_cast<NetId>(i)).a);
+    note_const(nl.gate(static_cast<NetId>(i)).b);
+  }
+  for (const RegBit& rb : nl.registers())
+    if (kept[std::size_t(rb.q)]) note_const(rb.d);
+  for (const auto& group : nl.outputs())
+    for (const NetId o : group) note_const(o);
+
+  Netlist& res = out.netlist;
+  NetId const_net[2] = {kNoNet, kNoNet};
+  if (need[0]) const_net[0] = res.add_gate(GateOp::Const0);
+  if (need[1]) const_net[1] = res.add_gate(GateOp::Const1);
+
+  auto mapop = [&](NetId o) -> NetId {
+    if (o == kNoNet) return kNoNet;
+    const NetId r = ctx.resolve(o);
+    const std::int8_t c = ctx.const_val[std::size_t(r)];
+    if (c >= 0) return const_net[c];
+    const NetId m = out.net_map[std::size_t(r)];
+    FDBIST_ASSERT(m != kNoNet, "operand of a kept gate was eliminated");
+    return m;
+  };
+
+  // Emit kept gates in the requested order (levelized when the Relayout
+  // pass ran, ascending original id otherwise). Either order lists
+  // every operand before its reader, which add_gate re-checks.
+  auto emit = [&](NetId id) {
+    if (!kept[std::size_t(id)]) return;
+    const Gate& g = nl.gate(id);
+    out.net_map[std::size_t(id)] =
+        res.add_gate(g.op, mapop(g.a), mapop(g.b), nl.origin(id));
+  };
+  if (!ctx.order.empty()) {
+    FDBIST_ASSERT(ctx.order.size() == n, "relayout order must cover all nets");
+    for (const NetId id : ctx.order) emit(id);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) emit(static_cast<NetId>(i));
+  }
+
+  // Map the eliminated nets onto whatever carries their value now.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out.net_map[i] != kNoNet) continue;
+    const NetId r = ctx.resolve(static_cast<NetId>(i));
+    const std::int8_t c = ctx.const_val[std::size_t(r)];
+    if (c >= 0)
+      out.net_map[i] = const_net[c]; // kNoNet when the const was unneeded
+    else if (r != static_cast<NetId>(i))
+      out.net_map[i] = out.net_map[std::size_t(r)];
+  }
+
+  for (const RegBit& rb : nl.registers())
+    if (kept[std::size_t(rb.q)])
+      res.registers().push_back({mapop(rb.d), out.net_map[std::size_t(rb.q)]});
+  for (const auto& group : nl.inputs()) {
+    std::vector<NetId> mapped;
+    mapped.reserve(group.size());
+    for (const NetId o : group) {
+      FDBIST_ASSERT(out.net_map[std::size_t(o)] != kNoNet,
+                    "primary input bit was eliminated");
+      mapped.push_back(out.net_map[std::size_t(o)]);
+    }
+    res.inputs().push_back(std::move(mapped));
+  }
+  for (const auto& group : nl.outputs()) {
+    std::vector<NetId> mapped;
+    mapped.reserve(group.size());
+    for (const NetId o : group) {
+      const NetId m = mapop(o);
+      FDBIST_ASSERT(m != kNoNet, "observed output bit was eliminated");
+      mapped.push_back(m);
+    }
+    res.outputs().push_back(std::move(mapped));
+  }
+
+  res.validate();
+  out.gates_after = res.logic_gate_count();
+  return out;
+}
+
+} // namespace
+
+PassPipelineResult run_pass_sequence(const Netlist& nl,
+                                     std::span<const NetId> protect,
+                                     std::span<const PassKind> seq) {
+  PassContext ctx(nl, protect);
+  std::vector<PassDelta> deltas;
+  deltas.reserve(seq.size());
+  for (const PassKind k : seq) deltas.push_back(pass_for(k).run(ctx));
+  PassPipelineResult out = materialize(ctx);
+  out.deltas = std::move(deltas);
+  return out;
+}
+
+PassPipelineResult run_passes(const Netlist& nl,
+                              std::span<const NetId> protect,
+                              const PassOptions& opt) {
+  std::vector<PassKind> seq;
+  for (const PassKind k : {PassKind::ConstantFold, PassKind::Cse,
+                           PassKind::DeadCone, PassKind::Relayout})
+    if (opt.enabled(k)) seq.push_back(k);
+  return run_pass_sequence(nl, protect, seq);
+}
+
+} // namespace fdbist::gate

@@ -1,0 +1,181 @@
+// Netlist optimization passes for the fault-simulation hot path.
+//
+// The compiled fault engine spends its life sweeping a netlist's SoA
+// gate arrays; every gate the pipeline removes is removed from every
+// lane of every cycle of every batch. The passes here run in front of
+// schedule compilation (fault/simulator.cpp) and are *fault-aware*:
+// run_passes takes the set of gates hosting faults in the current run
+// (the "protected set") and guarantees the optimized netlist produces
+// bit-identical per-lane behaviour — good machine AND every faulty
+// machine — at the observed outputs.
+//
+// The correctness contract every pass obeys:
+//
+//   * A protected gate is never folded, merged (in either direction),
+//     or removed, and its operand *positions* are preserved — pin
+//     faults (InputA/InputB) force the value the gate sees at a
+//     specific pin. Rewiring an operand to an equivalent net is fine;
+//     swapping A and B is not.
+//   * Transformations may only use the *function* of unprotected gates.
+//     An unprotected gate computes its nominal function in every lane,
+//     so algebraic identities (x AND x = x, x XOR x = 0, constant
+//     absorption, double negation) and structural sharing (two
+//     unprotected gates with the same op and operands carry the same
+//     word) hold per-lane even when faulty values flow through them. A
+//     protected gate's function changes under fault, so nothing may be
+//     inferred from it — constants do not propagate through it, it
+//     never enters the CSE value table, and complement/idempotence
+//     detection never looks inside it.
+//   * Dead-cone elimination only removes logic that cannot reach an
+//     observed output in the rewritten structure; fault effects
+//     propagate along exactly those structural edges, so removed logic
+//     provably never influences a verdict.
+//
+// Under this contract the pipeline commutes with fault injection:
+// verdicts with any subset of passes enabled, in any order, equal the
+// unoptimized FullSweep reference (fuzz-verified by src/verify/).
+//
+// Mechanically the passes share one working form (PassContext): a
+// read-only view of the original netlist plus union-find-style alias
+// links, a constant lattice, dead marks and an optional emission order.
+// Passes only ever *annotate*; materialization into a fresh compact
+// Netlist (with a full original->new net map) happens once at the end.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gate/netlist.hpp"
+
+namespace fdbist::gate {
+
+enum class PassKind : std::uint8_t {
+  ConstantFold, ///< stuck-at constant propagation + algebraic folds
+  Cse,          ///< structural dedup of identical (adder) cells
+  DeadCone,     ///< drop logic/registers unreachable from outputs
+  Relayout,     ///< levelized emission order for SoA locality
+};
+
+inline constexpr std::size_t kPassKinds = 4;
+
+const char* pass_name(PassKind k);
+
+/// Which passes the fault engine runs, each independently toggleable
+/// (FaultSimOptions::passes). Defaults to everything on.
+struct PassOptions {
+  bool constant_fold = true;
+  bool cse = true;
+  bool dead_cone = true;
+  bool relayout = true;
+
+  bool any() const { return constant_fold || cse || dead_cone || relayout; }
+  bool enabled(PassKind k) const {
+    switch (k) {
+    case PassKind::ConstantFold: return constant_fold;
+    case PassKind::Cse: return cse;
+    case PassKind::DeadCone: return dead_cone;
+    case PassKind::Relayout: return relayout;
+    }
+    return false;
+  }
+  static PassOptions all() { return {}; }
+  static PassOptions none() { return {false, false, false, false}; }
+  static PassOptions only(PassKind k) {
+    PassOptions o = none();
+    switch (k) {
+    case PassKind::ConstantFold: o.constant_fold = true; break;
+    case PassKind::Cse: o.cse = true; break;
+    case PassKind::DeadCone: o.dead_cone = true; break;
+    case PassKind::Relayout: o.relayout = true; break;
+    }
+    return o;
+  }
+};
+
+/// What one pass execution did to the netlist.
+struct PassDelta {
+  PassKind kind = PassKind::ConstantFold;
+  std::uint64_t runs = 0;
+  std::uint64_t gates_removed = 0; ///< logic gates folded/merged/dead
+  std::uint64_t edges_removed = 0; ///< operand edges of removed gates
+  std::uint64_t regs_removed = 0;  ///< registers dropped (dead cone)
+};
+
+/// Shared annotation state the passes rewrite. Public so passes (and
+/// white-box tests) can inspect it; ordinary callers only ever touch
+/// run_passes / run_pass_sequence.
+class PassContext {
+public:
+  PassContext(const Netlist& nl, std::span<const NetId> protect);
+
+  const Netlist& original;
+  std::vector<std::uint8_t> is_protected; ///< by original net id
+  /// Alias link: this net's per-lane word equals `alias[i]`'s (kNoNet =
+  /// unaliased). Links always point to lower ids, so chains terminate.
+  std::vector<NetId> alias;
+  /// Constant lattice: -1 unknown, else the per-lane constant 0/1.
+  /// Seeded with Const0/Const1 gates; never set on a protected gate.
+  std::vector<std::int8_t> const_val;
+  /// Dead marks (set only by DeadCone; dead nets drop at materialize).
+  std::vector<std::uint8_t> dead;
+  /// Optional emission order over original ids (set by Relayout); empty
+  /// means ascending original order.
+  std::vector<NetId> order;
+
+  /// Follow alias links to the representative net.
+  NetId resolve(NetId n) const {
+    while (alias[std::size_t(n)] != kNoNet) n = alias[std::size_t(n)];
+    return n;
+  }
+
+  /// Constant value of the representative of `n`, -1 if not constant.
+  std::int8_t resolved_const(NetId n) const {
+    return const_val[std::size_t(resolve(n))];
+  }
+
+  /// True when `n`'s gate may be folded away / merged / reasoned about
+  /// by function: an unprotected, still-live, unaliased logic gate.
+  bool foldable(NetId n) const;
+};
+
+class Pass {
+public:
+  virtual ~Pass() = default;
+  virtual PassKind kind() const = 0;
+  virtual const char* name() const = 0;
+  /// Annotate `ctx`; report what this run removed.
+  virtual PassDelta run(PassContext& ctx) const = 0;
+};
+
+/// Registry of the built-in pass singletons.
+const Pass& pass_for(PassKind k);
+
+struct PassPipelineResult {
+  Netlist netlist;
+  /// original net id -> id of the net carrying the same per-lane value
+  /// in `netlist`, kNoNet if the value was eliminated. Protected nets
+  /// always survive with op and operand positions intact.
+  std::vector<NetId> net_map;
+  std::vector<PassDelta> deltas; ///< execution order
+  std::size_t gates_before = 0;  ///< original logic-gate count
+  std::size_t gates_after = 0;   ///< optimized logic-gate count
+};
+
+/// Run `seq` over `nl`, protecting the fault-site gates in `protect`,
+/// and materialize the optimized netlist. The result validates; its
+/// verdict behaviour is bit-identical to `nl` for any faults hosted on
+/// protected gates (see the contract above).
+PassPipelineResult run_pass_sequence(const Netlist& nl,
+                                     std::span<const NetId> protect,
+                                     std::span<const PassKind> seq);
+
+/// Canonical pipeline: the enabled subset of ConstantFold, Cse,
+/// DeadCone, Relayout, in that order.
+PassPipelineResult run_passes(const Netlist& nl,
+                              std::span<const NetId> protect,
+                              const PassOptions& opt);
+
+} // namespace fdbist::gate

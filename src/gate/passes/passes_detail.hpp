@@ -1,0 +1,14 @@
+// Accessors for the built-in pass singletons (one per TU). Internal to
+// src/gate/passes/; external callers go through pass_for / run_passes.
+#pragma once
+
+#include "gate/passes/pass.hpp"
+
+namespace fdbist::gate::detail {
+
+const Pass& constant_fold_pass();
+const Pass& cse_pass();
+const Pass& dead_cone_pass();
+const Pass& relayout_pass();
+
+} // namespace fdbist::gate::detail

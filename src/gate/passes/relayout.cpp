@@ -1,0 +1,74 @@
+// Levelized SoA relayout: re-emit surviving gates sorted by logic
+// depth (sources at level 0, each logic gate one past its deepest
+// resolved operand), ties broken by original id.
+//
+// Purely an emission-order pass: it removes nothing and rewires
+// nothing, it just makes the materialized netlist's topological order
+// match its dataflow levels, so the compiled schedule's SoA sweep walks
+// each level contiguously and a batch cone's gates cluster instead of
+// striding across the whole array. Level order is still a valid
+// topological order (a logic gate's operands live at strictly lower
+// levels; Input/RegOut/Const sources sit at level 0 and are never read
+// before emission), which materialize() re-checks via add_gate.
+
+#include <algorithm>
+#include <numeric>
+
+#include "gate/passes/passes_detail.hpp"
+
+namespace fdbist::gate::detail {
+namespace {
+
+class RelayoutPass final : public Pass {
+public:
+  PassKind kind() const override { return PassKind::Relayout; }
+  const char* name() const override { return pass_name(kind()); }
+
+  PassDelta run(PassContext& ctx) const override {
+    PassDelta d;
+    d.kind = kind();
+    d.runs = 1;
+    const Netlist& nl = ctx.original;
+    const std::size_t n = nl.size();
+
+    std::vector<std::int32_t> level(n, 0);
+    auto operand_level = [&](NetId o) -> std::int32_t {
+      if (o == kNoNet) return 0;
+      const NetId r = ctx.resolve(o);
+      if (ctx.const_val[std::size_t(r)] >= 0) return 0;
+      return level[std::size_t(r)];
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      const NetId id = static_cast<NetId>(i);
+      if (ctx.alias[i] != kNoNet || ctx.const_val[i] >= 0 || ctx.dead[i] != 0)
+        continue;
+      const Gate& g = nl.gate(id);
+      switch (g.op) {
+      case GateOp::Not: level[i] = 1 + operand_level(g.a); break;
+      case GateOp::And:
+      case GateOp::Or:
+      case GateOp::Xor:
+        level[i] = 1 + std::max(operand_level(g.a), operand_level(g.b));
+        break;
+      default: level[i] = 0; break;
+      }
+    }
+
+    ctx.order.resize(n);
+    std::iota(ctx.order.begin(), ctx.order.end(), NetId{0});
+    std::stable_sort(ctx.order.begin(), ctx.order.end(),
+                     [&](NetId x, NetId y) {
+                       return level[std::size_t(x)] < level[std::size_t(y)];
+                     });
+    return d;
+  }
+};
+
+} // namespace
+
+const Pass& relayout_pass() {
+  static const RelayoutPass p;
+  return p;
+}
+
+} // namespace fdbist::gate::detail

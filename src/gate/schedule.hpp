@@ -52,6 +52,15 @@ struct GoodTrace {
                                             : std::uint64_t{0};
   }
 
+  /// Same, broadcast into an arbitrary-width simulation word (the trace
+  /// itself is always one bit per net per cycle — only the executor's
+  /// lane count widens).
+  template <class W>
+  static W broadcast_as(const std::uint64_t* row, NetId id) {
+    const auto i = std::size_t(id);
+    return W::fill(((row[i >> 6] >> (i & 63)) & 1u) != 0);
+  }
+
   /// Bytes needed for `cycles` rows over `nets` nets (overflow-safe for
   /// the int32-bounded stimulus lengths the fault engine accepts).
   static std::size_t bytes_needed(std::size_t nets, std::size_t cycles) {

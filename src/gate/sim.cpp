@@ -1,6 +1,7 @@
 #include "gate/sim.hpp"
 
-#include "common/bits.hpp"
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace fdbist::gate {
@@ -12,191 +13,6 @@ const char* pin_site_name(PinSite s) {
   case PinSite::InputB: return "inB";
   }
   return "?";
-}
-
-WordSim::WordSim(const Netlist& nl)
-    : owned_(std::make_shared<CompiledSchedule>(nl)), sched_(*owned_),
-      nl_(nl), values_(nl.size(), 0), reg_state_(nl.registers().size(), 0),
-      fault_slot_(nl.size(), -1) {}
-
-WordSim::WordSim(const CompiledSchedule& schedule)
-    : sched_(schedule), nl_(schedule.netlist()), values_(nl_.size(), 0),
-      reg_state_(nl_.registers().size(), 0), fault_slot_(nl_.size(), -1) {}
-
-void WordSim::reset() {
-  std::fill(values_.begin(), values_.end(), 0);
-  std::fill(reg_state_.begin(), reg_state_.end(), 0);
-}
-
-void WordSim::clear_faults() {
-  for (const NetId gid : fault_gates_) fault_slot_[std::size_t(gid)] = -1;
-  fault_gates_.clear();
-  plans_.clear();
-  injected_lanes_ = 0;
-}
-
-void WordSim::add_fault(NetId gid, PinSite site, int stuck,
-                        std::uint64_t mask) {
-  FDBIST_REQUIRE(gid >= 0 && std::size_t(gid) < nl_.size(),
-                 "fault gate id out of range");
-  const GateOp op = nl_.gate(gid).op;
-  FDBIST_REQUIRE(op == GateOp::Not || op == GateOp::And ||
-                     op == GateOp::Or || op == GateOp::Xor,
-                 "faults can only be injected on logic gates");
-  if (site == PinSite::InputB)
-    FDBIST_REQUIRE(op != GateOp::Not, "NOT gates have no second input");
-  FDBIST_REQUIRE(mask != 0, "fault mask selects no lanes");
-  FDBIST_REQUIRE((mask & injected_lanes_) == 0,
-                 "fault mask overlaps a previously injected fault's lanes "
-                 "(one lane carries one fault; clear_faults() to reuse)");
-
-  std::int32_t& slot = fault_slot_[std::size_t(gid)];
-  if (slot < 0) {
-    slot = static_cast<std::int32_t>(plans_.size());
-    plans_.emplace_back();
-    fault_gates_.push_back(gid);
-  }
-  PinMasks& p = plans_[std::size_t(slot)];
-  switch (site) {
-  case PinSite::InputA: (stuck != 0 ? p.set_a : p.clr_a) |= mask; break;
-  case PinSite::InputB: (stuck != 0 ? p.set_b : p.clr_b) |= mask; break;
-  case PinSite::Output: (stuck != 0 ? p.set_o : p.clr_o) |= mask; break;
-  }
-  injected_lanes_ |= mask;
-}
-
-std::uint64_t WordSim::eval_faulty(std::size_t i) const {
-  const PinMasks& p = plans_[std::size_t(fault_slot_[i])];
-  const NetId na = sched_.operand_a()[i];
-  const NetId nb = sched_.operand_b()[i];
-  std::uint64_t va = na != kNoNet ? values_[std::size_t(na)] : 0;
-  std::uint64_t vb = nb != kNoNet ? values_[std::size_t(nb)] : 0;
-  va = (va | p.set_a) & ~p.clr_a;
-  vb = (vb | p.set_b) & ~p.clr_b;
-  std::uint64_t v = 0;
-  switch (sched_.ops()[i]) {
-  case GateOp::Not: v = ~va; break;
-  case GateOp::And: v = va & vb; break;
-  case GateOp::Or: v = va | vb; break;
-  case GateOp::Xor: v = va ^ vb; break;
-  default: FDBIST_ASSERT(false, "fault on non-logic gate");
-  }
-  return (v | p.set_o) & ~p.clr_o;
-}
-
-void WordSim::step_broadcast(std::span<const std::int64_t> input_raws) {
-  FDBIST_REQUIRE(input_raws.size() == nl_.inputs().size(),
-                 "wrong number of input words");
-  // Drive primary inputs (broadcast each bit to all 64 lanes).
-  for (std::size_t g = 0; g < input_raws.size(); ++g) {
-    const auto& group = nl_.inputs()[g];
-    const auto raw = static_cast<std::uint64_t>(input_raws[g]);
-    for (std::size_t j = 0; j < group.size(); ++j)
-      values_[std::size_t(group[j])] =
-          ((raw >> j) & 1u) ? ~std::uint64_t{0} : 0;
-  }
-  // Present register state.
-  const auto& regs = nl_.registers();
-  for (std::size_t r = 0; r < regs.size(); ++r)
-    values_[std::size_t(regs[r].q)] = reg_state_[r];
-
-  // Evaluate combinational gates in topological order over the
-  // schedule's SoA arrays.
-  const GateOp* ops = sched_.ops();
-  const NetId* as = sched_.operand_a();
-  const NetId* bs = sched_.operand_b();
-  const std::int32_t* slot = fault_slot_.data();
-  const std::size_t n = sched_.size();
-  std::uint64_t* vals = values_.data();
-  for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t v;
-    switch (ops[i]) {
-    case GateOp::Not: v = ~vals[as[i]]; break;
-    case GateOp::And: v = vals[as[i]] & vals[bs[i]]; break;
-    case GateOp::Or: v = vals[as[i]] | vals[bs[i]]; break;
-    case GateOp::Xor: v = vals[as[i]] ^ vals[bs[i]]; break;
-    case GateOp::Const0: v = 0; break;
-    case GateOp::Const1: v = ~std::uint64_t{0}; break;
-    case GateOp::Input:
-    case GateOp::RegOut:
-      continue; // already driven above
-    default: v = 0; break;
-    }
-    if (slot[i] >= 0) [[unlikely]]
-      v = eval_faulty(i);
-    vals[i] = v;
-  }
-
-  // Latch.
-  for (std::size_t r = 0; r < regs.size(); ++r)
-    reg_state_[r] = values_[std::size_t(regs[r].d)];
-}
-
-void WordSim::step_cone(const CompiledSchedule::Cone& cone,
-                        const std::uint64_t* good_row) {
-  // Out-of-cone operands hold the good value in every lane.
-  std::uint64_t* vals = values_.data();
-  for (const NetId bnet : cone.boundary)
-    vals[std::size_t(bnet)] = GoodTrace::broadcast(good_row, bnet);
-
-  // Present per-lane state of the in-cone registers.
-  const auto& regs = nl_.registers();
-  for (const std::int32_t r : cone.regs)
-    vals[std::size_t(regs[std::size_t(r)].q)] = reg_state_[std::size_t(r)];
-
-  // Evaluate only the cone, in topological (ascending id) order.
-  const GateOp* ops = sched_.ops();
-  const NetId* as = sched_.operand_a();
-  const NetId* bs = sched_.operand_b();
-  const std::int32_t* slot = fault_slot_.data();
-  for (const NetId g : cone.gates) {
-    const auto i = std::size_t(g);
-    std::uint64_t v;
-    switch (ops[i]) {
-    case GateOp::Not: v = ~vals[as[i]]; break;
-    case GateOp::And: v = vals[as[i]] & vals[bs[i]]; break;
-    case GateOp::Or: v = vals[as[i]] | vals[bs[i]]; break;
-    case GateOp::Xor: v = vals[as[i]] ^ vals[bs[i]]; break;
-    default: v = 0; break; // cones contain only logic gates
-    }
-    if (slot[i] >= 0) [[unlikely]]
-      v = eval_faulty(i);
-    vals[i] = v;
-  }
-
-  // Latch only the in-cone registers (out-of-cone state stays good and
-  // is never read by in-cone gates).
-  for (const std::int32_t r : cone.regs)
-    reg_state_[std::size_t(r)] = values_[std::size_t(regs[std::size_t(r)].d)];
-}
-
-std::uint64_t WordSim::output_mismatch() const {
-  std::uint64_t diff = 0;
-  for (const auto& group : nl_.outputs()) {
-    for (const NetId o : group) {
-      const std::uint64_t w = values_[std::size_t(o)];
-      const std::uint64_t good = (w & 1u) ? ~std::uint64_t{0} : 0;
-      diff |= w ^ good;
-    }
-  }
-  return diff;
-}
-
-std::uint64_t WordSim::cone_output_mismatch(
-    const CompiledSchedule::Cone& cone, const std::uint64_t* good_row) const {
-  std::uint64_t diff = 0;
-  for (const NetId o : cone.outputs)
-    diff |= values_[std::size_t(o)] ^ GoodTrace::broadcast(good_row, o);
-  return diff;
-}
-
-std::int64_t WordSim::lane_value(const std::vector<NetId>& bit_nets,
-                                 int lane) const {
-  FDBIST_REQUIRE(lane >= 0 && lane < 64, "lane out of range");
-  std::uint64_t raw = 0;
-  for (std::size_t j = 0; j < bit_nets.size(); ++j)
-    raw |= ((values_[std::size_t(bit_nets[j])] >> lane) & 1u) << j;
-  return sign_extend(raw, static_cast<int>(bit_nets.size()));
 }
 
 GoodTrace record_good_trace(const CompiledSchedule& schedule,

@@ -143,8 +143,17 @@ Finding check_stats_invariants(const fault::FaultSimResult& r,
     return fail("complete result with unfinalized faults");
 
   const auto& s = r.stats;
-  if (fault_count > 0 && s.batches < (fault_count + 62) / 63)
-    return fail("fewer batches than the fault universe requires");
+  if (s.lane_width != 64 && s.lane_width != 256 && s.lane_width != 512)
+    return fail("lane width " + std::to_string(s.lane_width) +
+                " is not a known backend width");
+  if (s.simd == common::SimdBackend::Auto)
+    return fail("result carries the unresolved Auto SIMD backend tag");
+  // Each batch carries at most lane_width-1 faults (lane 0 is the good
+  // machine), so a complete run needs at least this many batches.
+  const std::size_t fpb = s.lane_width - 1;
+  if (fault_count > 0 && s.batches < (fault_count + fpb - 1) / fpb)
+    return fail("fewer batches than the fault universe requires at " +
+                std::to_string(s.lane_width) + " lanes");
   if (s.cycles_budgeted < s.cycles_simulated)
     return fail("simulated more cycles than budgeted");
   if (s.gates_evaluated > s.gates_full_sweep)
@@ -266,6 +275,40 @@ Finding check_filter_case(const FilterCase& c) {
   if (c.mutate >= 0)
     return Finding::fail("mutation escaped: Compiled engine agreed with "
                          "FullSweep despite a mutated netlist");
+
+  // Row 4b: pass-config matrix. The default Compiled run above already
+  // exercised the full pass pipeline; a passes-off run pins the
+  // unoptimized compiled engine, and one rotating singleton pass
+  // isolates each transformation in turn across the corpus. Every
+  // configuration must reproduce the FullSweep verdicts exactly.
+  {
+    fault::FaultSimOptions off;
+    off.num_threads = 1;
+    off.engine = fault::FaultSimEngine::Compiled;
+    off.passes = gate::PassOptions::none();
+    const auto plain = simulate_faults(low.netlist, stim, faults, off);
+    if (auto f = check_stats_invariants(plain, off.engine, faults.size(),
+                                        stim.size()))
+      return f;
+    if (auto f =
+            diff_verdicts(ref, "FullSweep", plain, "Compiled/passes-off"))
+      return f;
+
+    const auto kind = static_cast<gate::PassKind>(
+        (std::size_t(c.generator) + c.vectors) % gate::kPassKinds);
+    fault::FaultSimOptions single;
+    single.num_threads = 1;
+    single.engine = fault::FaultSimEngine::Compiled;
+    single.passes = gate::PassOptions::only(kind);
+    const auto one = simulate_faults(low.netlist, stim, faults, single);
+    if (auto f = check_stats_invariants(one, single.engine, faults.size(),
+                                        stim.size()))
+      return f;
+    const std::string one_name =
+        std::string("Compiled/only-") + gate::pass_name(kind);
+    if (auto f = diff_verdicts(ref, "FullSweep", one, one_name.c_str()))
+      return f;
+  }
 
   // Row 5: a sliced campaign (the checkpoint/resume execution shape,
   // in-memory) must reproduce the one-shot verdicts exactly.

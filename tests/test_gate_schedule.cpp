@@ -264,9 +264,11 @@ TEST(EngineStats, ReportsWorkDone) {
   const auto r = fault::simulate_faults(low.netlist, stim, faults);
   const auto& s = r.stats;
   EXPECT_EQ(s.engine, fault::FaultSimEngine::Compiled);
-  // Stage 1 runs every fault once in 63-wide batches; stage 2 adds a
-  // workload-dependent number of survivor batches on top.
-  EXPECT_GE(s.batches, (faults.size() + 62) / 63);
+  // Stage 1 runs every fault once in (lanes-1)-wide batches; stage 2
+  // adds a workload-dependent number of survivor batches on top.
+  ASSERT_GE(s.lane_width, 64u);
+  EXPECT_GE(s.batches, (faults.size() + s.lane_width - 2) / (s.lane_width - 1));
+  EXPECT_NE(s.simd, common::SimdBackend::Auto);
   EXPECT_GT(s.cycles_simulated, 0u);
   EXPECT_GE(s.cycles_budgeted, s.cycles_simulated);
   EXPECT_GT(s.good_trace_cycles, 0u);
