@@ -6,6 +6,14 @@
 //   fdbist_cli [--threads N] campaign <lp|bp|hp> <generator> <vectors>
 //                            [--checkpoint FILE] [--checkpoint-every N]
 //                            [--resume] [--deadline-s S]
+//   fdbist_cli [--threads N] coordinate <lp|bp|hp> <generator> <vectors>
+//                            --dir DIR [--workers N] [--slice-faults N]
+//                            [--lease-ms N] [--max-attempts N]
+//                            [--backoff-ms N] [--backoff-cap-ms N]
+//                            [--max-respawns N] [--checkpoint-every N]
+//                            [--deadline-s S] [--worker-cmd PATH]
+//   fdbist_cli [--threads N] worker <lp|bp|hp> <generator> <vectors>
+//                            --dir DIR --worker-id N [--checkpoint-every N]
 //   fdbist_cli [--threads N] spectra  <generator> [samples]
 //   fdbist_cli [--threads N] export   <lp|bp|hp> <verilog|dot>
 //   fdbist_cli fuzz [--seed N] [--cases N] [--corpus DIR]
@@ -22,6 +30,14 @@
 // an uninterrupted run), and --deadline-s stops workers gracefully at
 // batch boundaries, reporting coverage-so-far.
 //
+// `coordinate` runs the same campaign distributed over --workers child
+// processes (each `fdbist_cli worker`, spawned automatically), leasing
+// --slice-faults-sized slices, retrying through crashes and hangs, and
+// merging partial results into a final line byte-identical to
+// `faultsim`. --dir holds slice checkpoints and partials; a re-run
+// with the same --dir resumes from whatever survived. `worker` is the
+// child half — it is spawned by `coordinate`, not typed by hand.
+//
 // `fuzz` runs the differential verification subsystem (src/verify/):
 // replay the corpus, then `--cases` fresh random cases through every
 // redundant evaluation path (RTL vs gate sim, Compiled vs FullSweep
@@ -30,9 +46,11 @@
 // --mutate K injects a deliberate kernel mutation into every case (the
 // oracle self-test: the run MUST end with findings and exit 4).
 //
-// Exit codes: 0 success, 1 runtime error, 2 bad usage, 3 partial result
-// (campaign stopped by deadline or cancellation before finishing),
-// 4 fuzz discrepancy (the differential oracle found a mismatch).
+// Exit codes: 0 success, 1 runtime error, 2 bad usage, 4 fuzz
+// discrepancy (the differential oracle found a mismatch). A campaign
+// stopped before finishing reports *why* in its status: 3 cancellation,
+// 5 deadline expiry, 6 worker loss (a slice exhausted its retry budget
+// under `coordinate`). All three still print coverage-so-far.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -47,7 +65,10 @@
 #include "analysis/variance.hpp"
 #include "bist/kit.hpp"
 #include "common/parse.hpp"
+#include "common/subprocess.hpp"
 #include "designs/reference.hpp"
+#include "dist/coordinator.hpp"
+#include "dist/worker.hpp"
 #include "dsp/spectrum.hpp"
 #include "fault/campaign.hpp"
 #include "gate/verilog.hpp"
@@ -63,6 +84,9 @@ using namespace fdbist;
 /// the global --threads flag before command dispatch.
 std::size_t g_threads = 0;
 
+/// argv[0] as invoked, for `coordinate` to respawn itself as workers.
+const char* g_argv0 = "fdbist_cli";
+
 constexpr std::size_t kMaxVectors = std::numeric_limits<std::int32_t>::max();
 
 int usage() {
@@ -77,6 +101,18 @@ int usage() {
                "<vectors>\n"
                "                           [--checkpoint FILE] "
                "[--checkpoint-every N] [--resume] [--deadline-s S]\n"
+               "  fdbist_cli [--threads N] coordinate <lp|bp|hp> <generator> "
+               "<vectors> --dir DIR\n"
+               "                           [--workers N] [--slice-faults N] "
+               "[--lease-ms N] [--max-attempts N]\n"
+               "                           [--backoff-ms N] "
+               "[--backoff-cap-ms N] [--max-respawns N]\n"
+               "                           [--checkpoint-every N] "
+               "[--deadline-s S] [--worker-cmd PATH]\n"
+               "  fdbist_cli [--threads N] worker <lp|bp|hp> <generator> "
+               "<vectors> --dir DIR\n"
+               "                           --worker-id N "
+               "[--checkpoint-every N]\n"
                "  fdbist_cli [--threads N] spectra  <generator> [samples]\n"
                "  fdbist_cli [--threads N] export   <lp|bp|hp> "
                "<verilog|dot>\n"
@@ -85,8 +121,9 @@ int usage() {
                "generators: lfsr1 lfsr2 lfsrd lfsrm ramp mixed\n"
                "--threads N: fault-sim worker threads (0 = one per "
                "hardware thread; results identical for any N)\n"
-               "exit codes: 0 ok, 1 error, 2 usage, 3 partial campaign, "
-               "4 fuzz discrepancy\n");
+               "exit codes: 0 ok, 1 error, 2 usage, 4 fuzz discrepancy;\n"
+               "            partial campaigns: 3 cancelled, 5 deadline "
+               "exceeded, 6 worker loss\n");
   return 2;
 }
 
@@ -188,6 +225,26 @@ int cmd_analyze(int argc, char** argv) {
   return 0;
 }
 
+/// Exit status for a campaign that stopped before finishing: the code
+/// says *why* so harnesses can branch without scraping stderr.
+int partial_exit_status(fdbist::ErrorCode reason) {
+  switch (reason) {
+  case ErrorCode::Cancelled: return 3;
+  case ErrorCode::DeadlineExceeded: return 5;
+  case ErrorCode::WorkerLost: return 6;
+  default: return 1;
+  }
+}
+
+/// Shared "stopped early" report for campaign and coordinate.
+int print_partial(const fault::FaultSimResult& r, ErrorCode reason) {
+  std::printf("partial (%s): finalized %zu/%zu faults, coverage-so-far "
+              "%.3f%% (%zu detected)\n",
+              error_code_name(reason), r.finalized_count(), r.total_faults,
+              100 * r.coverage(), r.detected);
+  return partial_exit_status(reason);
+}
+
 /// Shared result line for faultsim and a completed campaign, so the
 /// kill-and-resume smoke test can diff the two outputs directly.
 void print_coverage_line(const std::string& design, const std::string& gen,
@@ -280,13 +337,165 @@ int cmd_campaign(int argc, char** argv) {
                  res->completed_slices);
 
   const fault::FaultSimResult& r = res->sim;
-  if (!r.complete) {
-    std::printf("partial (%s): finalized %zu/%zu faults, coverage-so-far "
-                "%.3f%% (%zu detected)\n",
-                error_code_name(*res->stop_reason), r.finalized_count(),
-                r.total_faults, 100 * r.coverage(), r.detected);
-    return 3;
+  if (!r.complete) return print_partial(r, *res->stop_reason);
+  print_coverage_line(d.name, gen->name(), *vectors, r,
+                      kit.golden_signature(stimulus));
+  return 0;
+}
+
+int cmd_worker(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto which = parse_design(argv[1]);
+  const auto vectors = arg_size(argv[3], "<vectors>", 1, kMaxVectors);
+  if (!which || !vectors) return usage();
+  auto gen = parse_generator(argv[2], *vectors);
+  if (!gen) return usage();
+
+  dist::WorkerOptions wopt;
+  wopt.compute.num_threads = g_threads;
+  bool have_id = false;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      wopt.dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--worker-id") == 0 && i + 1 < argc) {
+      const auto id = arg_size(argv[++i], "--worker-id", 0, 1u << 20);
+      if (!id) return usage();
+      wopt.worker_id = *id;
+      have_id = true;
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+               i + 1 < argc) {
+      const auto every =
+          arg_size(argv[++i], "--checkpoint-every", 0, kMaxVectors);
+      if (!every) return usage();
+      wopt.compute.checkpoint_every = *every;
+    } else {
+      std::fprintf(stderr, "fdbist_cli: unknown worker flag \"%s\"\n",
+                   argv[i]);
+      return usage();
+    }
   }
+  if (wopt.dir.empty() || !have_id) {
+    std::fprintf(stderr, "fdbist_cli: worker requires --dir and "
+                         "--worker-id\n");
+    return usage();
+  }
+
+  const auto d = designs::make_reference(*which);
+  bist::BistKit kit(d);
+  gen->reset();
+  const auto stimulus = gen->generate_raw(*vectors);
+  auto r = dist::run_worker(kit.lowered().netlist, stimulus, kit.faults(),
+                            wopt);
+  if (!r) {
+    std::fprintf(stderr, "fdbist_cli: worker %zu: %s\n", wopt.worker_id,
+                 r.error().to_string().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_coordinate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto which = parse_design(argv[1]);
+  const auto vectors = arg_size(argv[3], "<vectors>", 1, kMaxVectors);
+  if (!which || !vectors) return usage();
+  auto gen = parse_generator(argv[2], *vectors);
+  if (!gen) return usage();
+
+  dist::DistOptions dopt;
+  dopt.compute.num_threads = g_threads;
+  std::string worker_cmd;
+  std::size_t checkpoint_every = 0;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dopt.dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      const auto n = arg_size(argv[++i], "--workers", 0, 256);
+      if (!n) return usage();
+      dopt.num_workers = *n;
+    } else if (std::strcmp(argv[i], "--slice-faults") == 0 && i + 1 < argc) {
+      const auto n = arg_size(argv[++i], "--slice-faults", 1, kMaxVectors);
+      if (!n) return usage();
+      dopt.slice_faults = *n;
+    } else if (std::strcmp(argv[i], "--lease-ms") == 0 && i + 1 < argc) {
+      const auto n = arg_size(argv[++i], "--lease-ms", 1, 1u << 30);
+      if (!n) return usage();
+      dopt.lease_ms = *n;
+    } else if (std::strcmp(argv[i], "--max-attempts") == 0 && i + 1 < argc) {
+      const auto n = arg_size(argv[++i], "--max-attempts", 1, 1u << 20);
+      if (!n) return usage();
+      dopt.max_slice_attempts = *n;
+    } else if (std::strcmp(argv[i], "--backoff-ms") == 0 && i + 1 < argc) {
+      const auto n = arg_size(argv[++i], "--backoff-ms", 0, 1u << 30);
+      if (!n) return usage();
+      dopt.backoff_base_ms = *n;
+    } else if (std::strcmp(argv[i], "--backoff-cap-ms") == 0 &&
+               i + 1 < argc) {
+      const auto n = arg_size(argv[++i], "--backoff-cap-ms", 0, 1u << 30);
+      if (!n) return usage();
+      dopt.backoff_cap_ms = *n;
+    } else if (std::strcmp(argv[i], "--max-respawns") == 0 && i + 1 < argc) {
+      const auto n = arg_size(argv[++i], "--max-respawns", 0, 1u << 20);
+      if (!n) return usage();
+      dopt.max_respawns = *n;
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+               i + 1 < argc) {
+      const auto n = arg_size(argv[++i], "--checkpoint-every", 0,
+                              kMaxVectors);
+      if (!n) return usage();
+      checkpoint_every = *n;
+    } else if (std::strcmp(argv[i], "--deadline-s") == 0 && i + 1 < argc) {
+      const auto deadline = arg_double(argv[++i], "--deadline-s", 0.0, 1e9);
+      if (!deadline) return usage();
+      dopt.deadline_s = *deadline;
+    } else if (std::strcmp(argv[i], "--worker-cmd") == 0 && i + 1 < argc) {
+      worker_cmd = argv[++i];
+    } else {
+      std::fprintf(stderr, "fdbist_cli: unknown coordinate flag \"%s\"\n",
+                   argv[i]);
+      return usage();
+    }
+  }
+  if (dopt.dir.empty()) {
+    std::fprintf(stderr, "fdbist_cli: coordinate requires --dir\n");
+    return usage();
+  }
+  dopt.compute.checkpoint_every = checkpoint_every;
+
+  // Workers are this very binary re-invoked in `worker` mode with the
+  // same universe arguments; the coordinator appends the slot index
+  // after the trailing --worker-id. --workers 0 skips processes
+  // entirely (every slice runs inline).
+  if (dopt.num_workers > 0) {
+    dopt.worker_argv = {
+        worker_cmd.empty() ? common::self_exe_path(g_argv0) : worker_cmd,
+        "--threads", "1", "worker", argv[1], argv[2], argv[3],
+        "--dir", dopt.dir,
+        "--checkpoint-every", std::to_string(checkpoint_every),
+        "--worker-id"};
+  }
+
+  const auto d = designs::make_reference(*which);
+  bist::BistKit kit(d);
+  gen->reset();
+  const auto stimulus = gen->generate_raw(*vectors);
+
+  auto res = dist::run_distributed(kit.lowered().netlist, stimulus,
+                                   kit.faults(), dopt);
+  if (!res) {
+    std::fprintf(stderr, "fdbist_cli: %s\n", res.error().to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[coord] %zu slices (%zu resumed, %zu inline), %zu workers "
+               "spawned, %zu lost, %zu leases expired, %zu reassignments, "
+               "%zu partials rejected\n",
+               res->slices, res->resumed_slices, res->inline_slices,
+               res->workers_spawned, res->workers_lost, res->leases_expired,
+               res->slices_reassigned, res->partials_rejected);
+
+  const fault::FaultSimResult& r = res->sim;
+  if (!r.complete) return print_partial(r, *res->stop_reason);
   print_coverage_line(d.name, gen->name(), *vectors, r,
                       kit.golden_signature(stimulus));
   return 0;
@@ -397,6 +606,7 @@ int cmd_export(int argc, char** argv) {
 } // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 1 && argv[0] != nullptr) g_argv0 = argv[0];
   // Strip the global --threads flag before command dispatch.
   if (argc >= 2 && std::strcmp(argv[1], "--threads") == 0) {
     if (argc < 3) return usage();
@@ -416,6 +626,10 @@ int main(int argc, char** argv) {
       return cmd_faultsim(argc - 1, argv + 1);
     if (std::strcmp(argv[1], "campaign") == 0)
       return cmd_campaign(argc - 1, argv + 1);
+    if (std::strcmp(argv[1], "coordinate") == 0)
+      return cmd_coordinate(argc - 1, argv + 1);
+    if (std::strcmp(argv[1], "worker") == 0)
+      return cmd_worker(argc - 1, argv + 1);
     if (std::strcmp(argv[1], "spectra") == 0)
       return cmd_spectra(argc - 1, argv + 1);
     if (std::strcmp(argv[1], "export") == 0)

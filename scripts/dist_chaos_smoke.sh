@@ -1,0 +1,188 @@
+#!/usr/bin/env bash
+# Chaos smoke test for distributed (coordinator/worker) campaigns.
+#
+# Runs `fdbist_cli coordinate` with a pool of real worker processes and
+# attacks it: random SIGKILLs of live workers mid-run, then
+# deterministic failpoint rounds (worker crash mid-slice, hung worker
+# past its lease, corrupt partial results, an instant deadline). The
+# merged coverage line must come out byte-identical to an uninterrupted
+# single-process `faultsim` of the same (design, generator, vectors)
+# cell after every survivable round, and the unsurvivable rounds must
+# fail with their documented typed exit codes. Exercises the full
+# crash-recovery path no unit test can: real processes, real kill(2),
+# real pipes tearing mid-message.
+#
+# Usage: scripts/dist_chaos_smoke.sh [path-to-fdbist_cli]
+#
+# Environment:
+#   KILLS              random worker SIGKILLs to aim for (default 3)
+#   KILL_INTERVAL      seconds between random kills (default 0.25)
+#   CHAOS_ARTIFACT_DIR if set, coordinator/worker logs are copied there
+#                      on exit (CI uploads them when the job fails)
+set -u
+
+CLI="${1:-build/examples/fdbist_cli}"
+DESIGN=lp
+GEN=lfsrd
+VECTORS=512
+WORKERS=4
+KILLS="${KILLS:-3}"
+KILL_INTERVAL="${KILL_INTERVAL:-0.25}"
+
+if [[ ! -x "$CLI" ]]; then
+  echo "dist_chaos_smoke: $CLI not found or not executable" >&2
+  exit 1
+fi
+
+workdir=$(mktemp -d)
+cleanup() {
+  if [[ -n "${CHAOS_ARTIFACT_DIR:-}" ]]; then
+    mkdir -p "$CHAOS_ARTIFACT_DIR"
+    cp "$workdir"/*.txt "$workdir"/*.log "$CHAOS_ARTIFACT_DIR"/ 2>/dev/null
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "dist_chaos_smoke: FAIL — $*" >&2
+  for log in "$workdir"/*.log; do
+    [[ -f "$log" ]] || continue
+    echo "---- $log ----" >&2
+    cat "$log" >&2
+  done
+  exit 1
+}
+
+coordinate() { # <scratch-subdir> <stdout-file> <stderr-file> [extra flags]
+  local dir="$workdir/$1" out="$workdir/$2" log="$workdir/$3"
+  shift 3
+  mkdir -p "$dir"
+  "$CLI" coordinate $DESIGN $GEN $VECTORS --dir "$dir" --workers $WORKERS \
+    --slice-faults 1500 --backoff-ms 20 "$@" >"$out" 2>"$log"
+}
+
+echo "== reference: uninterrupted single-process faultsim =="
+"$CLI" faultsim $DESIGN $GEN $VECTORS > "$workdir/golden.txt" ||
+  fail "reference faultsim exited $?"
+cat "$workdir/golden.txt"
+
+# ---------------------------------------------------------------------
+# Round 1: random SIGKILL chaos. Workers are direct children of the
+# coordinator, so pgrep -P finds them without pattern-matching argv.
+# The kill schedule races real work — on a fast machine the campaign
+# can finish before every kill lands; the deterministic crash round
+# below tops the injected-kill count up to the required minimum.
+# ---------------------------------------------------------------------
+echo "== round 1: $WORKERS workers, random SIGKILL x$KILLS =="
+mkdir -p "$workdir/round1"
+# Launched directly (not through the coordinate() wrapper) so $! is the
+# coordinator process itself, not a wrapping subshell.
+"$CLI" coordinate $DESIGN $GEN $VECTORS --dir "$workdir/round1" \
+  --workers $WORKERS --slice-faults 1500 --backoff-ms 20 \
+  >"$workdir/round1.txt" 2>"$workdir/round1.log" &
+coord=$!
+random_kills=0
+for _ in $(seq 1 40); do
+  sleep "$KILL_INTERVAL"
+  kill -0 "$coord" 2>/dev/null || break
+  victim=$(pgrep -P "$coord" | shuf -n 1 || true)
+  [[ -z "$victim" ]] && continue
+  if kill -KILL "$victim" 2>/dev/null; then
+    random_kills=$((random_kills + 1))
+    echo "SIGKILLed worker pid $victim ($random_kills/$KILLS)"
+  fi
+  [[ $random_kills -ge $KILLS ]] && break
+done
+wait "$coord"
+status=$?
+[[ $status -eq 0 ]] || fail "round 1 coordinator exited $status"
+diff -u "$workdir/golden.txt" "$workdir/round1.txt" ||
+  fail "round 1 output differs from the uninterrupted reference"
+echo "round 1 OK ($random_kills random kills)"
+
+# ---------------------------------------------------------------------
+# Round 2: every worker crashes itself mid-way through the first slice
+# it touches (the failpoint spec is inherited through the environment
+# by each spawned worker). Respawns crash too; once the respawn budget
+# is spent the coordinator degrades to inline completion. The initial
+# pool alone guarantees $WORKERS deterministic kills, and the result
+# must still be byte-identical.
+# ---------------------------------------------------------------------
+echo "== round 2: deterministic worker crash (failpoint crash@1) =="
+FDBIST_FAILPOINTS="worker-crash-mid-slice=crash" \
+  coordinate round2 round2.txt round2.log --max-respawns 4
+status=$?
+[[ $status -eq 0 ]] || fail "round 2 coordinator exited $status"
+# Workers announce the injected SIGKILL on stderr (inherited into the
+# round log) right before dying; the coordinator's own view of each
+# death races between pipe-EOF and the signal-9 wait status, so the
+# announcement is the deterministic thing to count.
+failpoint_kills=$(grep -c "failpoint worker-crash-mid-slice: SIGKILL" \
+  "$workdir/round2.log")
+[[ $failpoint_kills -ge $WORKERS ]] ||
+  fail "round 2 observed $failpoint_kills crashes (expected >= $WORKERS)"
+grep -Eq "worker [0-9]+ (closed its pipe|killed by signal 9)" \
+  "$workdir/round2.log" ||
+  fail "round 2 coordinator never noticed a dead worker"
+diff -u "$workdir/golden.txt" "$workdir/round2.txt" ||
+  fail "round 2 output differs from the uninterrupted reference"
+echo "round 2 OK ($failpoint_kills failpoint crashes)"
+
+total_kills=$((random_kills + failpoint_kills))
+[[ $total_kills -ge $KILLS ]] ||
+  fail "only $total_kills workers killed across rounds 1-2 (need >= $KILLS)"
+
+# ---------------------------------------------------------------------
+# Round 3: hung workers. Every worker sleeps far past the lease before
+# touching its slice; the coordinator must declare the lease expired,
+# SIGKILL the hung owner, and finish the work elsewhere (ultimately
+# inline) — still byte-identical.
+# ---------------------------------------------------------------------
+echo "== round 3: hung worker (failpoint sleep past the lease) =="
+FDBIST_FAILPOINTS="slow-worker=sleep:3000" \
+  coordinate round3 round3.txt round3.log \
+  --lease-ms 400 --max-respawns 2 --max-attempts 64
+status=$?
+[[ $status -eq 0 ]] || fail "round 3 coordinator exited $status"
+grep -q "lease expired" "$workdir/round3.log" ||
+  fail "round 3 never observed a lease expiry"
+diff -u "$workdir/golden.txt" "$workdir/round3.txt" ||
+  fail "round 3 output differs from the uninterrupted reference"
+echo "round 3 OK"
+
+# ---------------------------------------------------------------------
+# Round 4: persistent result corruption. Every partial (worker or
+# inline) gets a payload byte flipped after its checksum was computed;
+# validation must reject every one, the retry budget must run out, and
+# the run must stop with the worker-lost exit code — corrupt verdicts
+# must never reach the merged result.
+# ---------------------------------------------------------------------
+echo "== round 4: corrupt partials are rejected until attempts exhaust =="
+FDBIST_FAILPOINTS="corrupt-result=corrupt" \
+  coordinate round4 round4.txt round4.log --max-attempts 2
+status=$?
+[[ $status -eq 6 ]] ||
+  fail "round 4 expected worker-lost exit 6, got $status"
+grep -q "partial rejected" "$workdir/round4.log" ||
+  fail "round 4 never logged a rejected partial"
+grep -q "partial (worker-lost)" "$workdir/round4.txt" ||
+  fail "round 4 did not report a worker-lost partial result"
+echo "round 4 OK"
+
+# ---------------------------------------------------------------------
+# Round 5: an already-expired deadline stops the campaign before any
+# slice merges, with the deadline-exceeded exit code.
+# ---------------------------------------------------------------------
+echo "== round 5: expired deadline stops with its typed exit code =="
+coordinate round5 round5.txt round5.log --deadline-s 0.000001
+status=$?
+[[ $status -eq 5 ]] ||
+  fail "round 5 expected deadline-exceeded exit 5, got $status"
+grep -q "partial (deadline-exceeded)" "$workdir/round5.txt" ||
+  fail "round 5 did not report a deadline-exceeded partial result"
+echo "round 5 OK"
+
+echo "dist_chaos_smoke: PASS — merged output byte-identical to the" \
+     "reference through $total_kills worker kills, lease expiry," \
+     "corrupt partials, and deadline expiry"

@@ -30,6 +30,10 @@ enum class ErrorCode {
   Cancelled,           ///< cancellation token fired
   DeadlineExceeded,    ///< deadline elapsed before completion
   InvalidArgument,     ///< malformed user input (CLI args, env vars)
+  MergeOverlap,        ///< partial results claim the same fault twice
+  MergeGap,            ///< merged result left faults with no verdict
+  WorkerLost,          ///< worker process died/hung past the retry budget
+  Protocol,            ///< malformed coordinator/worker message
 };
 
 inline const char* error_code_name(ErrorCode c) {
@@ -40,6 +44,10 @@ inline const char* error_code_name(ErrorCode c) {
   case ErrorCode::Cancelled: return "cancelled";
   case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
   case ErrorCode::InvalidArgument: return "invalid-argument";
+  case ErrorCode::MergeOverlap: return "merge-overlap";
+  case ErrorCode::MergeGap: return "merge-gap";
+  case ErrorCode::WorkerLost: return "worker-lost";
+  case ErrorCode::Protocol: return "protocol";
   }
   return "unknown";
 }

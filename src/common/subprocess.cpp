@@ -1,0 +1,154 @@
+#include "common/subprocess.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace fdbist::common {
+
+namespace {
+
+Error io_error(const std::string& what) {
+  return Error{ErrorCode::Io, what + " (" + std::strerror(errno) + ")"};
+}
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+void set_nonblock(int fd) {
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+}
+
+} // namespace
+
+Expected<ChildProcess> spawn_child(const std::vector<std::string>& argv) {
+  FDBIST_REQUIRE(!argv.empty(), "spawn_child needs a binary path");
+
+  int to_child[2];   // parent writes -> child stdin
+  int from_child[2]; // child stdout -> parent reads
+  if (::pipe(to_child) != 0) return io_error("pipe failed");
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return io_error("pipe failed");
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]})
+      ::close(fd);
+    return io_error("fork failed");
+  }
+
+  if (pid == 0) {
+    // Child: wire the pipes to stdin/stdout, close everything else we
+    // opened, exec. Only async-signal-safe calls from here on.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]})
+      ::close(fd);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv)
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    ::_exit(127); // exec failed; the parent sees status 127 via waitpid
+  }
+
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  ChildProcess child;
+  child.pid = pid;
+  child.write_fd = to_child[1];
+  child.read_fd = from_child[0];
+  set_cloexec(child.write_fd);
+  set_cloexec(child.read_fd);
+  set_nonblock(child.read_fd);
+  return child;
+}
+
+void close_child_pipes(ChildProcess& child) {
+  if (child.write_fd >= 0) ::close(child.write_fd);
+  if (child.read_fd >= 0) ::close(child.read_fd);
+  child.write_fd = -1;
+  child.read_fd = -1;
+}
+
+bool kill_child(const ChildProcess& child, int signal) {
+  return child.pid > 0 && ::kill(child.pid, signal) == 0;
+}
+
+std::optional<int> wait_child(const ChildProcess& child, bool block) {
+  if (child.pid <= 0) return std::nullopt;
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(child.pid, &status, block ? 0 : WNOHANG);
+    if (r == child.pid) return status;
+    if (r == 0) return std::nullopt; // still running (WNOHANG)
+    if (errno == EINTR) continue;
+    return std::nullopt; // already reaped or never existed
+  }
+}
+
+Expected<void> write_line(int fd, const std::string& line) {
+  std::string buf = line;
+  buf.push_back('\n');
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    return io_error("pipe write failed");
+  }
+  return {};
+}
+
+bool LineReader::feed() {
+  if (eof_) return false;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    eof_ = true; // treat read errors as a vanished peer
+    return false;
+  }
+}
+
+std::optional<std::string> LineReader::next_line() {
+  const std::size_t nl = buf_.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  std::string line = buf_.substr(0, nl);
+  buf_.erase(0, nl + 1);
+  return line;
+}
+
+void ignore_sigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+std::string self_exe_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0 == nullptr ? std::string() : std::string(argv0);
+}
+
+} // namespace fdbist::common

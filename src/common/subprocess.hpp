@@ -1,0 +1,89 @@
+// Child-process plumbing for the distributed campaign runtime.
+//
+// The coordinator (dist/coordinator.hpp) talks to worker processes over
+// a pair of pipes carrying a line-oriented protocol; everything POSIX
+// about that — fork/exec with the right dup2 dance, non-blocking
+// line-buffered reads suitable for a poll() loop, signal delivery,
+// zombie reaping — lives here so the dist layer stays protocol logic.
+//
+// Everything returns Expected with Io errors; nothing throws for
+// environmental failures (a worker binary that fails to exec is a
+// recoverable event the coordinator degrades around, not a crash).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "common/error.hpp"
+
+namespace fdbist::common {
+
+/// A spawned child with pipes: write_fd feeds its stdin, read_fd drains
+/// its stdout. stderr is inherited (worker logs interleave with the
+/// parent's, prefixed by the worker itself).
+struct ChildProcess {
+  pid_t pid = -1;
+  int write_fd = -1;
+  int read_fd = -1;
+};
+
+/// fork/exec `argv` (argv[0] is the binary path; PATH search is not
+/// used) with fresh stdin/stdout pipes. On success the parent-side pipe
+/// ends are close-on-exec and the read end is non-blocking. An exec
+/// failure surfaces as the child exiting 127 (observed via
+/// wait_child), not as an error here — fork/exec races make that the
+/// only honest contract.
+Expected<ChildProcess> spawn_child(const std::vector<std::string>& argv);
+
+/// Close the parent's pipe ends (idempotent; fds are set to -1).
+void close_child_pipes(ChildProcess& child);
+
+/// Send a signal (e.g. SIGKILL for an expired lease). Returns false if
+/// the process is already gone.
+bool kill_child(const ChildProcess& child, int signal);
+
+/// Reap the child. Blocking variant waits; non-blocking returns
+/// nullopt while the child is still running. The value is the raw
+/// waitpid status (use the WIFEXITED/WTERMSIG macros).
+std::optional<int> wait_child(const ChildProcess& child, bool block);
+
+/// Write `line` plus '\n' to the fd, retrying on EINTR/EAGAIN. Io on a
+/// closed pipe (EPIPE is an event, not a crash — callers must treat it
+/// as the worker being gone).
+Expected<void> write_line(int fd, const std::string& line);
+
+/// Incremental line assembly over a non-blocking fd: feed() pulls
+/// whatever is available, next_line() hands back completed lines one at
+/// a time. EOF is sticky and reported once the buffer is drained.
+class LineReader {
+public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Pull available bytes; returns false once EOF has been seen (data
+  /// may still be pending in the buffer).
+  bool feed();
+
+  /// Next complete line (without the '\n'), or nullopt if none buffered.
+  std::optional<std::string> next_line();
+
+  bool eof() const { return eof_ && buf_.empty(); }
+
+private:
+  int fd_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+/// Absolute path of the running executable (/proc/self/exe), falling
+/// back to `argv0` when /proc is unavailable.
+std::string self_exe_path(const char* argv0);
+
+/// Ignore SIGPIPE process-wide (idempotent). A coordinator writing to a
+/// worker that just died must see EPIPE — a recoverable Io error — not
+/// take the default fatal signal.
+void ignore_sigpipe();
+
+} // namespace fdbist::common

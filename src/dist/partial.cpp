@@ -1,0 +1,234 @@
+#include "dist/partial.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/atomic_file.hpp"
+#include "common/failpoint.hpp"
+#include "fault/campaign.hpp"
+#include "fault/checkpoint.hpp"
+
+namespace fdbist::dist {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'D', 'B', 'P'};
+constexpr std::size_t kHeaderBytes = 64;
+constexpr std::size_t kChecksumBytes = 8;
+constexpr std::uint64_t kFnvSeed = 14695981039346656037ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, const T& v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+
+template <typename T>
+T take(const std::vector<std::uint8_t>& in, std::size_t& offset) {
+  T v;
+  std::memcpy(&v, in.data() + offset, sizeof v);
+  offset += sizeof v;
+  return v;
+}
+
+Error corrupt(const std::string& why) {
+  return Error{ErrorCode::CorruptCheckpoint, "partial result " + why};
+}
+
+} // namespace
+
+UniverseFp fingerprint_universe(const gate::Netlist& nl,
+                                std::span<const std::int64_t> stimulus,
+                                std::span<const fault::Fault> faults) {
+  return UniverseFp{fault::fingerprint_netlist(nl),
+                    fault::fingerprint_stimulus(stimulus),
+                    fault::fingerprint_faults(faults)};
+}
+
+std::string partial_path(const std::string& dir, std::size_t slice) {
+  return dir + "/slice-" + std::to_string(slice) + ".part";
+}
+
+std::string slice_checkpoint_path(const std::string& dir, std::size_t slice) {
+  return dir + "/slice-" + std::to_string(slice) + ".ckpt";
+}
+
+Expected<void> save_partial(const std::string& path, const SlicePartial& p) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kHeaderBytes + p.detect_cycle.size() * sizeof(std::int32_t) +
+              kChecksumBytes);
+  buf.insert(buf.end(), kMagic, kMagic + 4);
+  put(buf, kPartialVersion);
+  put(buf, p.fp.netlist);
+  put(buf, p.fp.stimulus);
+  put(buf, p.fp.faults);
+  put(buf, p.total_faults);
+  put(buf, p.vectors);
+  put(buf, p.lo);
+  put(buf, std::uint64_t{p.detect_cycle.size()});
+  const auto* cycles =
+      reinterpret_cast<const std::uint8_t*>(p.detect_cycle.data());
+  buf.insert(buf.end(), cycles,
+             cycles + p.detect_cycle.size() * sizeof(std::int32_t));
+  put(buf, fnv1a(kFnvSeed, buf.data(), buf.size()));
+  return common::atomic_write_file(path, buf, "partial");
+}
+
+Expected<SlicePartial> load_partial(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Error{ErrorCode::Io, "cannot open: " + path};
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(chunk, 1, sizeof chunk, f);
+    buf.insert(buf.end(), chunk, chunk + n);
+    if (n < sizeof chunk) break;
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Error{ErrorCode::Io, "read failed: " + path};
+
+  if (buf.size() < kHeaderBytes + kChecksumBytes)
+    return corrupt("truncated (" + std::to_string(buf.size()) + " bytes)");
+  if (std::memcmp(buf.data(), kMagic, 4) != 0)
+    return corrupt("has bad magic");
+
+  std::size_t off = 4;
+  const auto version = take<std::uint32_t>(buf, off);
+  if (version != kPartialVersion)
+    return corrupt("has unsupported version " + std::to_string(version));
+
+  SlicePartial p;
+  p.fp.netlist = take<std::uint64_t>(buf, off);
+  p.fp.stimulus = take<std::uint64_t>(buf, off);
+  p.fp.faults = take<std::uint64_t>(buf, off);
+  p.total_faults = take<std::uint64_t>(buf, off);
+  p.vectors = take<std::uint64_t>(buf, off);
+  p.lo = take<std::uint64_t>(buf, off);
+  const auto count = take<std::uint64_t>(buf, off);
+
+  if (p.lo > p.total_faults || count > p.total_faults - p.lo)
+    return corrupt("window [" + std::to_string(p.lo) + ", +" +
+                   std::to_string(count) + ") exceeds its own universe");
+  const std::size_t expected = kHeaderBytes +
+                               std::size_t(count) * sizeof(std::int32_t) +
+                               kChecksumBytes;
+  if (buf.size() != expected)
+    return corrupt("is truncated or oversized (" +
+                   std::to_string(buf.size()) + " bytes, expected " +
+                   std::to_string(expected) + ")");
+
+  std::size_t checksum_off = buf.size() - kChecksumBytes;
+  const std::uint64_t stored = take<std::uint64_t>(buf, checksum_off);
+  if (fnv1a(kFnvSeed, buf.data(), buf.size() - kChecksumBytes) != stored)
+    return corrupt("failed its checksum");
+
+  p.detect_cycle.resize(std::size_t(count));
+  std::memcpy(p.detect_cycle.data(), buf.data() + off,
+              p.detect_cycle.size() * sizeof(std::int32_t));
+  return p;
+}
+
+Expected<void> validate_partial(const SlicePartial& p, const UniverseFp& fp,
+                                std::size_t total_faults, std::size_t vectors,
+                                std::size_t lo, std::size_t count) {
+  if (p.fp != fp)
+    return Error{ErrorCode::FingerprintMismatch,
+                 "partial result was written by a different campaign"};
+  if (p.total_faults != total_faults || p.vectors != vectors)
+    return Error{ErrorCode::FingerprintMismatch,
+                 "partial result geometry differs (" +
+                     std::to_string(p.total_faults) + " faults, " +
+                     std::to_string(p.vectors) + " vectors)"};
+  if (p.lo != lo || p.detect_cycle.size() != count)
+    return corrupt("covers [" + std::to_string(p.lo) + ", +" +
+                   std::to_string(p.detect_cycle.size()) +
+                   ") but the slice is [" + std::to_string(lo) + ", +" +
+                   std::to_string(count) + ")");
+  return {};
+}
+
+Expected<void> merge_partial(fault::FaultSimResult& into,
+                             const SlicePartial& p) {
+  fault::FaultSimResult part;
+  part.total_faults = p.detect_cycle.size();
+  part.vectors = p.vectors;
+  part.detect_cycle = p.detect_cycle;
+  part.finalized.assign(p.detect_cycle.size(), 1);
+  return into.merge(part, p.lo);
+}
+
+Expected<void> compute_and_save_slice(const gate::Netlist& nl,
+                                      std::span<const std::int64_t> stimulus,
+                                      std::span<const fault::Fault> faults,
+                                      const UniverseFp& fp,
+                                      const std::string& dir,
+                                      std::size_t slice, std::size_t lo,
+                                      std::size_t count,
+                                      const SliceComputeOptions& opt) {
+  fault::CampaignOptions copt;
+  copt.num_threads = opt.num_threads;
+  copt.engine = opt.engine;
+  copt.simd = opt.simd;
+  copt.passes = opt.passes;
+  copt.checkpoint_every =
+      opt.checkpoint_every == 0 ? count
+                                : std::min(opt.checkpoint_every, count);
+  copt.checkpoint_path = slice_checkpoint_path(dir, slice);
+  copt.resume = true; // pick up where a dead worker's checkpoint stopped
+  copt.cancel = opt.cancel;
+  copt.progress = opt.progress;
+
+  auto r = fault::run_campaign(nl, stimulus, faults.subspan(lo, count), copt);
+  if (!r && (r.error().code == ErrorCode::FingerprintMismatch ||
+             r.error().code == ErrorCode::CorruptCheckpoint)) {
+    // The slice checkpoint is a resume hint, not the result: one left
+    // by an attempt with a different checkpoint granularity (or torn
+    // past what the atomic writer guards) must not wedge the slice
+    // into retry exhaustion. Drop it and recompute from scratch.
+    std::remove(copt.checkpoint_path.c_str());
+    r = fault::run_campaign(nl, stimulus, faults.subspan(lo, count), copt);
+  }
+  if (!r) return r.error();
+  if (!r->sim.complete)
+    return Error{*r->stop_reason, "slice " + std::to_string(slice) +
+                                      " stopped before completion"};
+
+  SlicePartial p;
+  p.fp = fp;
+  p.total_faults = faults.size();
+  p.vectors = stimulus.size();
+  p.lo = lo;
+  p.detect_cycle = r->sim.detect_cycle;
+  if (auto saved = save_partial(partial_path(dir, slice), p); !saved)
+    return saved.error();
+
+  // Simulated disk corruption: flip one payload byte of the *final*
+  // file. The coordinator's checksum validation must catch it and
+  // re-queue the slice — this is how the chaos harness proves corrupt
+  // results can never reach the merged verdicts.
+  if (common::failpoint_eval("corrupt-result")) {
+    std::FILE* f = std::fopen(partial_path(dir, slice).c_str(), "r+b");
+    if (f != nullptr) {
+      std::fseek(f, long(kHeaderBytes) + 1, SEEK_SET);
+      const int c = std::fgetc(f);
+      std::fseek(f, long(kHeaderBytes) + 1, SEEK_SET);
+      std::fputc((c == EOF ? 0 : c) ^ 0x5A, f);
+      std::fclose(f);
+    }
+  }
+
+  std::remove(copt.checkpoint_path.c_str()); // superseded by the partial
+  return {};
+}
+
+} // namespace fdbist::dist

@@ -1,0 +1,127 @@
+#include "dist/protocol.hpp"
+
+#include <vector>
+
+#include "common/parse.hpp"
+
+namespace fdbist::dist {
+
+namespace {
+
+Error bad(const std::string& line, const std::string& why) {
+  return Error{ErrorCode::Protocol, why + " in \"" + line + "\""};
+}
+
+std::vector<std::string> split_words(const std::string& line,
+                                     std::size_t max_fields) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < line.size() && out.size() < max_fields) {
+    const std::size_t sp = out.size() + 1 == max_fields
+                               ? std::string::npos
+                               : line.find(' ', pos);
+    out.push_back(line.substr(pos, sp == std::string::npos ? sp : sp - pos));
+    pos = sp == std::string::npos ? line.size() : sp + 1;
+  }
+  return out;
+}
+
+Expected<std::size_t> field(const std::string& line, const std::string& word,
+                            const char* what) {
+  auto v = common::parse_size(word.c_str(), what);
+  if (!v) return bad(line, v.error().message);
+  return v;
+}
+
+} // namespace
+
+std::string format_message(const Message& m) {
+  switch (m.kind) {
+  case MsgKind::Hello:
+    return "HELLO " + std::to_string(m.a);
+  case MsgKind::Slice:
+    return "SLICE " + std::to_string(m.a) + " " + std::to_string(m.b) + " " +
+           std::to_string(m.c);
+  case MsgKind::Progress:
+    return "PROGRESS " + std::to_string(m.a) + " " + std::to_string(m.b);
+  case MsgKind::Done:
+    return "DONE " + std::to_string(m.a);
+  case MsgKind::Fail:
+    return "FAIL " + std::to_string(m.a) + " " + m.text;
+  case MsgKind::Exit:
+    return "EXIT";
+  }
+  return "";
+}
+
+Expected<Message> parse_message(const std::string& line) {
+  Message m;
+  if (line == "EXIT") {
+    m.kind = MsgKind::Exit;
+    return m;
+  }
+
+  const std::size_t sp = line.find(' ');
+  const std::string verb = line.substr(0, sp);
+  const std::string rest = sp == std::string::npos ? "" : line.substr(sp + 1);
+
+  if (verb == "HELLO") {
+    const auto words = split_words(rest, 1);
+    if (words.size() != 1) return bad(line, "HELLO needs one field");
+    auto id = field(line, words[0], "worker-id");
+    if (!id) return id.error();
+    m.kind = MsgKind::Hello;
+    m.a = *id;
+    return m;
+  }
+  if (verb == "SLICE") {
+    const auto words = split_words(rest, 3);
+    if (words.size() != 3) return bad(line, "SLICE needs three fields");
+    auto idx = field(line, words[0], "slice index");
+    auto lo = field(line, words[1], "slice lo");
+    auto count = field(line, words[2], "slice count");
+    if (!idx) return idx.error();
+    if (!lo) return lo.error();
+    if (!count) return count.error();
+    m.kind = MsgKind::Slice;
+    m.a = *idx;
+    m.b = *lo;
+    m.c = *count;
+    return m;
+  }
+  if (verb == "PROGRESS") {
+    const auto words = split_words(rest, 2);
+    if (words.size() != 2) return bad(line, "PROGRESS needs two fields");
+    auto idx = field(line, words[0], "slice index");
+    auto done = field(line, words[1], "finalized count");
+    if (!idx) return idx.error();
+    if (!done) return done.error();
+    m.kind = MsgKind::Progress;
+    m.a = *idx;
+    m.b = *done;
+    return m;
+  }
+  if (verb == "DONE") {
+    const auto words = split_words(rest, 1);
+    if (words.size() != 1) return bad(line, "DONE needs one field");
+    auto idx = field(line, words[0], "slice index");
+    if (!idx) return idx.error();
+    m.kind = MsgKind::Done;
+    m.a = *idx;
+    return m;
+  }
+  if (verb == "FAIL") {
+    const std::size_t sp2 = rest.find(' ');
+    if (rest.empty() || sp2 == std::string::npos || sp2 == 0)
+      return bad(line, "FAIL needs an index and a message");
+    auto idx = field(line, rest.substr(0, sp2), "slice index");
+    if (!idx) return idx.error();
+    m.kind = MsgKind::Fail;
+    m.a = *idx;
+    m.text = rest.substr(sp2 + 1);
+    return m;
+  }
+  return bad(line, "unknown verb \"" + verb + "\"");
+}
+
+} // namespace fdbist::dist

@@ -1,0 +1,43 @@
+// The coordinator/worker wire protocol: one line per message over the
+// worker's stdin (commands) and stdout (events).
+//
+//   coordinator -> worker          worker -> coordinator
+//   ------------------------       ---------------------------------
+//   SLICE <index> <lo> <count>     HELLO <worker-id>
+//   EXIT                           PROGRESS <index> <faults-finalized>
+//                                  DONE <index>
+//                                  FAIL <index> <error-code> <message>
+//
+// HELLO confirms the exec succeeded before any work is assigned.
+// PROGRESS renews the slice lease (a silent worker is presumed hung).
+// DONE means the partial-result file for <index> is durably on disk —
+// the coordinator still validates it before trusting it. FAIL reports
+// a typed campaign error; the slice is re-queued.
+//
+// Parsing is strict (common/parse.hpp rules): a malformed line from a
+// worker is a Protocol error and the coordinator treats that worker as
+// compromised — SIGKILL, slice re-queued — rather than guessing.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace fdbist::dist {
+
+enum class MsgKind : std::uint8_t { Hello, Slice, Progress, Done, Fail, Exit };
+
+struct Message {
+  MsgKind kind = MsgKind::Exit;
+  std::size_t a = 0;    ///< worker-id (Hello) or slice index
+  std::size_t b = 0;    ///< slice lo (Slice) or finalized count (Progress)
+  std::size_t c = 0;    ///< slice fault count (Slice)
+  std::string text;     ///< error-code + message (Fail)
+};
+
+std::string format_message(const Message& m);
+
+/// Strict inverse of format_message; Protocol error on anything else.
+Expected<Message> parse_message(const std::string& line);
+
+} // namespace fdbist::dist

@@ -1,0 +1,105 @@
+#include "dist/queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fdbist::dist {
+
+std::uint64_t backoff_delay_ms(std::size_t attempt, std::uint64_t base_ms,
+                               std::uint64_t cap_ms,
+                               std::uint64_t jitter_seed) {
+  std::uint64_t delay = base_ms;
+  for (std::size_t i = 0; i < attempt && delay < cap_ms; ++i) delay *= 2;
+  delay = std::min(delay, cap_ms);
+  if (base_ms > 0) {
+    // splitmix64 over (seed, attempt) — reproducible, slice-decorrelated.
+    std::uint64_t z = jitter_seed + 0x9E3779B97F4A7C15ULL * (attempt + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    delay += (z ^ (z >> 31)) % base_ms;
+  }
+  return delay;
+}
+
+SliceQueue::SliceQueue(std::vector<SliceSpec> slices, std::uint64_t lease_ms,
+                       std::size_t max_attempts,
+                       std::uint64_t backoff_base_ms,
+                       std::uint64_t backoff_cap_ms,
+                       std::uint64_t jitter_seed, Clock clock)
+    : specs_(std::move(slices)),
+      entries_(specs_.size()),
+      lease_ms_(lease_ms),
+      max_attempts_(max_attempts),
+      backoff_base_ms_(backoff_base_ms),
+      backoff_cap_ms_(backoff_cap_ms),
+      jitter_seed_(jitter_seed),
+      clock_(std::move(clock)) {}
+
+std::optional<std::size_t> SliceQueue::acquire(std::size_t owner) {
+  const std::uint64_t now = clock_();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (e.state != SliceState::Pending || e.not_before > now) continue;
+    if (e.attempts >= max_attempts_) continue;
+    e.state = SliceState::Leased;
+    e.owner = owner;
+    ++e.attempts;
+    e.lease_deadline = now + lease_ms_;
+    return i;
+  }
+  return std::nullopt;
+}
+
+void SliceQueue::renew(std::size_t slice) {
+  Entry& e = entries_[slice];
+  if (e.state == SliceState::Leased) e.lease_deadline = clock_() + lease_ms_;
+}
+
+void SliceQueue::complete(std::size_t slice) {
+  Entry& e = entries_[slice];
+  if (e.state == SliceState::Done) return;
+  e.state = SliceState::Done;
+  ++done_;
+}
+
+bool SliceQueue::release(std::size_t slice) {
+  Entry& e = entries_[slice];
+  if (e.state != SliceState::Leased) return true;
+  e.state = SliceState::Pending;
+  if (e.attempts >= max_attempts_) return false;
+  // attempts counts acquisitions, so the first release backs off by the
+  // base delay (attempt index 0).
+  e.not_before = clock_() + backoff_delay_ms(e.attempts - 1, backoff_base_ms_,
+                                             backoff_cap_ms_,
+                                             jitter_seed_ + slice);
+  return true;
+}
+
+std::vector<std::size_t> SliceQueue::expired() const {
+  const std::uint64_t now = clock_();
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (entries_[i].state == SliceState::Leased &&
+        entries_[i].lease_deadline <= now)
+      out.push_back(i);
+  return out;
+}
+
+std::uint64_t SliceQueue::next_event_delay_ms(std::uint64_t cap) const {
+  const std::uint64_t now = clock_();
+  std::uint64_t best = cap;
+  for (const Entry& e : entries_) {
+    std::uint64_t when = 0;
+    if (e.state == SliceState::Leased)
+      when = e.lease_deadline;
+    else if (e.state == SliceState::Pending && e.not_before > now &&
+             e.attempts > 0 && e.attempts < max_attempts_)
+      when = e.not_before;
+    else
+      continue;
+    best = std::min(best, when <= now ? 0 : when - now);
+  }
+  return best;
+}
+
+} // namespace fdbist::dist

@@ -1,0 +1,113 @@
+// Lease-based slice ownership for the distributed coordinator.
+//
+// Every campaign slice moves Pending -> Leased -> Done. A lease is a
+// time-boxed claim: the owner must keep renewing it (the worker's
+// PROGRESS heartbeats) or the coordinator declares the owner hung,
+// SIGKILLs it, and the slice returns to Pending for reassignment. A
+// slice that fails (worker death, FAIL message, corrupt partial) also
+// returns to Pending, but behind an exponential-backoff delay with
+// deterministic jitter so a persistently failing slice does not busy-
+// spin the queue; after max_attempts total attempts the queue refuses
+// to hand the slice out again and the campaign stops with WorkerLost.
+//
+// Time is injected (a millisecond clock callback) so lease expiry and
+// backoff are unit-testable without sleeping; the coordinator passes a
+// steady_clock reading, tests pass a counter they advance by hand. The
+// queue is used from a single-threaded poll() loop and is deliberately
+// unsynchronized.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace fdbist::dist {
+
+/// Deterministic exponential backoff: base * 2^attempt, capped, plus
+/// jitter in [0, base) derived by mixing `jitter_seed` with `attempt`
+/// (splitmix64), so retry schedules are reproducible for a given seed
+/// yet de-synchronized across slices. `attempt` counts completed
+/// failures (0 = first retry).
+std::uint64_t backoff_delay_ms(std::size_t attempt, std::uint64_t base_ms,
+                               std::uint64_t cap_ms,
+                               std::uint64_t jitter_seed);
+
+struct SliceSpec {
+  std::size_t lo = 0;    ///< first fault index of the slice
+  std::size_t count = 0; ///< faults in the slice
+};
+
+enum class SliceState : std::uint8_t { Pending, Leased, Done };
+
+class SliceQueue {
+public:
+  /// Millisecond clock; monotonic, origin irrelevant.
+  using Clock = std::function<std::uint64_t()>;
+
+  SliceQueue(std::vector<SliceSpec> slices, std::uint64_t lease_ms,
+             std::size_t max_attempts, std::uint64_t backoff_base_ms,
+             std::uint64_t backoff_cap_ms, std::uint64_t jitter_seed,
+             Clock clock);
+
+  /// Claim the lowest pending slice whose backoff delay has elapsed, for
+  /// `owner` (an opaque id — worker slot or the coordinator itself).
+  /// Starts its lease; nullopt when nothing is currently claimable.
+  std::optional<std::size_t> acquire(std::size_t owner);
+
+  /// Heartbeat: push the slice's lease deadline out by lease_ms. Ignored
+  /// unless the slice is leased.
+  void renew(std::size_t slice);
+
+  /// Mark a leased slice finished (a validated partial is on disk).
+  void complete(std::size_t slice);
+
+  /// Return a leased slice to Pending after a failure, scheduling its
+  /// backoff. Returns false when the slice has burnt max_attempts —
+  /// the caller must abandon the campaign (WorkerLost).
+  bool release(std::size_t slice);
+
+  /// Leased slices whose deadline has passed at the injected clock's
+  /// current reading. The caller kills the owner then release()s.
+  std::vector<std::size_t> expired() const;
+
+  const SliceSpec& spec(std::size_t slice) const { return specs_[slice]; }
+  SliceState state(std::size_t slice) const { return entries_[slice].state; }
+  std::size_t owner(std::size_t slice) const { return entries_[slice].owner; }
+  std::size_t attempts(std::size_t slice) const {
+    return entries_[slice].attempts;
+  }
+  std::size_t size() const { return specs_.size(); }
+  std::size_t done_count() const { return done_; }
+  bool all_done() const { return done_ == specs_.size(); }
+
+  /// True while any slice is still claimable now or after a pending
+  /// backoff/lease expiry — i.e. the campaign can still make progress.
+  bool work_remains() const { return done_ < specs_.size(); }
+
+  /// Milliseconds until the next scheduled event (a lease expiring or a
+  /// backoff elapsing), clamped to [0, cap]; cap when nothing is
+  /// scheduled. Drives the coordinator's poll() timeout.
+  std::uint64_t next_event_delay_ms(std::uint64_t cap) const;
+
+private:
+  struct Entry {
+    SliceState state = SliceState::Pending;
+    std::size_t owner = 0;
+    std::size_t attempts = 0;       ///< acquisitions so far
+    std::uint64_t lease_deadline = 0;
+    std::uint64_t not_before = 0;   ///< backoff gate for re-acquisition
+  };
+
+  std::vector<SliceSpec> specs_;
+  std::vector<Entry> entries_;
+  std::uint64_t lease_ms_;
+  std::size_t max_attempts_;
+  std::uint64_t backoff_base_ms_;
+  std::uint64_t backoff_cap_ms_;
+  std::uint64_t jitter_seed_;
+  Clock clock_;
+  std::size_t done_ = 0;
+};
+
+} // namespace fdbist::dist

@@ -82,21 +82,27 @@ Expected<CampaignResult> run_campaign(const gate::Netlist& nl,
                     ", now " + std::to_string(slice));
 
     ck.slice_finalized = old.slice_finalized;
+    // Reconstitute the checkpoint's finalized slices as one partial
+    // result and run it through the audited merge — the same path
+    // distributed workers use, so resume cannot drift from it.
+    FaultSimResult restored;
+    restored.total_faults = total;
+    restored.vectors = stimulus.size();
+    restored.detect_cycle.assign(total, -1);
+    restored.finalized.assign(total, 0);
     for (std::size_t s = 0; s < num_slices; ++s) {
       if (!ck.slice_finalized[s]) continue;
       const std::size_t lo = s * slice;
       const std::size_t hi = std::min(total, lo + slice);
-      std::copy(old.detect_cycle.begin() + std::ptrdiff_t(lo),
-                old.detect_cycle.begin() + std::ptrdiff_t(hi),
-                ck.detect_cycle.begin() + std::ptrdiff_t(lo));
-      std::copy(ck.detect_cycle.begin() + std::ptrdiff_t(lo),
-                ck.detect_cycle.begin() + std::ptrdiff_t(hi),
-                res.sim.detect_cycle.begin() + std::ptrdiff_t(lo));
-      std::fill(res.sim.finalized.begin() + std::ptrdiff_t(lo),
-                res.sim.finalized.begin() + std::ptrdiff_t(hi),
-                std::uint8_t{1});
+      for (std::size_t i = lo; i < hi; ++i) {
+        ck.detect_cycle[i] = old.detect_cycle[i];
+        restored.detect_cycle[i] = old.detect_cycle[i];
+        restored.finalized[i] = 1;
+      }
       ++res.resumed_slices;
     }
+    if (auto merged = res.sim.merge(restored, 0); !merged)
+      return merged.error();
   }
 
   // Local token chains the caller's kill switch under this call's
@@ -128,13 +134,13 @@ Expected<CampaignResult> run_campaign(const gate::Netlist& nl,
 
     const FaultSimResult part =
         simulate_faults(nl, stimulus, faults.subspan(lo, hi - lo), fopt);
-    res.sim.stats.merge(part.stats); // observability only; never persisted
-    for (std::size_t i = lo; i < hi; ++i) {
-      if (!part.finalized[i - lo]) continue;
-      res.sim.detect_cycle[i] = part.detect_cycle[i - lo];
-      res.sim.finalized[i] = 1;
-      ck.detect_cycle[i] = part.detect_cycle[i - lo];
-    }
+    // The audited merge absorbs whatever verdicts the slice finalized
+    // (all of them, or a cancelled prefix) and folds in stats; the
+    // checkpoint mirrors only the finalized entries.
+    if (auto merged = res.sim.merge(part, lo); !merged)
+      return merged.error();
+    for (std::size_t i = lo; i < hi; ++i)
+      if (part.finalized[i - lo]) ck.detect_cycle[i] = part.detect_cycle[i - lo];
     if (!part.complete) {
       // Cancelled mid-slice: keep the partial verdicts in the returned
       // result but do not finalize the slice — the checkpoint only ever
@@ -154,8 +160,8 @@ Expected<CampaignResult> run_campaign(const gate::Netlist& nl,
     }
   }
 
-  for (const std::int32_t c : res.sim.detect_cycle)
-    if (c >= 0) ++res.sim.detected;
+  // merge() maintained `detected` incrementally; only the completeness
+  // flag is left to settle.
   res.sim.complete = res.sim.finalized_count() == total;
   return res;
 }

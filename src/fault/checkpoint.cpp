@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include <unistd.h>
+#include "common/atomic_file.hpp"
 
 namespace fdbist::fault {
 
@@ -129,22 +129,12 @@ Expected<void> save_checkpoint(const std::string& path, const Checkpoint& ck) {
 
   put(buf, fnv1a(kFnvSeed, buf.data(), buf.size()));
 
-  // tmp + fsync + rename: a SIGKILL at any point leaves either the old
-  // checkpoint or the new one, never a torn file at `path`.
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return io_error("cannot open for writing:", tmp);
-  const bool wrote = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size() &&
-                     std::fflush(f) == 0 && fsync(fileno(f)) == 0;
-  if (std::fclose(f) != 0 || !wrote) {
-    std::remove(tmp.c_str());
-    return io_error("short write to", tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return io_error("cannot rename into place:", path);
-  }
-  return {};
+  // tmp + fsync + rename + parent-dir fsync (common/atomic_file.hpp): a
+  // SIGKILL at any point leaves either the old checkpoint or the new
+  // one, never a torn file at `path`, and a completed save survives a
+  // power cut. The "checkpoint-*" failpoints let the crash tests stand
+  // exactly on the write/rename seams.
+  return common::atomic_write_file(path, buf, "checkpoint");
 }
 
 Expected<Checkpoint> load_checkpoint(const std::string& path) {

@@ -25,8 +25,12 @@
 //   64+B   4*F   i32  detect_cycle[fault count]
 //   end-8  8     u64  FNV-1a checksum of every preceding byte
 //
-// Saves are atomic (write to "<path>.tmp", fsync, rename), so a process
-// killed mid-save never corrupts the previous good checkpoint. Loads
+// Saves are atomic and durable (write to "<path>.tmp", fsync, rename,
+// fsync the parent directory — common/atomic_file.hpp), so a process
+// killed mid-save never corrupts the previous good checkpoint and a
+// completed save survives power loss. The "checkpoint-torn-write",
+// "checkpoint-before-rename" and "checkpoint-after-rename" failpoints
+// (common/failpoint.hpp) inject crashes at exactly those seams. Loads
 // validate structure and checksum and return typed errors: Io for
 // filesystem failures, CorruptCheckpoint for anything malformed.
 #pragma once

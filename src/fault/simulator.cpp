@@ -42,6 +42,54 @@ std::vector<double> FaultSimResult::coverage_at(
   return out;
 }
 
+Expected<void> FaultSimResult::merge(const FaultSimResult& part,
+                                     std::size_t offset) {
+  if (offset > total_faults || part.total_faults > total_faults - offset)
+    return Error{ErrorCode::InvalidArgument,
+                 "merge window [" + std::to_string(offset) + ", " +
+                     std::to_string(offset + part.total_faults) +
+                     ") exceeds the " + std::to_string(total_faults) +
+                     "-fault universe"};
+  if (part.vectors != vectors)
+    return Error{ErrorCode::InvalidArgument,
+                 "merge of a " + std::to_string(part.vectors) +
+                     "-vector partial into a " + std::to_string(vectors) +
+                     "-vector result"};
+  FDBIST_REQUIRE(detect_cycle.size() == total_faults &&
+                     finalized.size() == total_faults &&
+                     part.detect_cycle.size() == part.total_faults &&
+                     part.finalized.size() == part.total_faults,
+                 "merge on a result with unsized verdict arrays");
+
+  // Audit before mutating: an overlap must leave this result untouched.
+  for (std::size_t i = 0; i < part.total_faults; ++i)
+    if (part.finalized[i] && finalized[offset + i])
+      return Error{ErrorCode::MergeOverlap,
+                   "fault " + std::to_string(offset + i) +
+                       " already carries a verdict (slices overlap)"};
+
+  for (std::size_t i = 0; i < part.total_faults; ++i) {
+    if (!part.finalized[i]) continue;
+    detect_cycle[offset + i] = part.detect_cycle[i];
+    finalized[offset + i] = 1;
+    if (part.detect_cycle[i] >= 0) ++detected;
+  }
+  stats.merge(part.stats);
+  return {};
+}
+
+Expected<void> FaultSimResult::require_complete() {
+  for (std::size_t i = 0; i < finalized.size(); ++i)
+    if (!finalized[i]) {
+      complete = false;
+      return Error{ErrorCode::MergeGap,
+                   "fault " + std::to_string(i) +
+                       " has no verdict (gap in the merged slices)"};
+    }
+  complete = true;
+  return {};
+}
+
 namespace {
 
 /// Trace plus widened worker state above this size force the FullSweep

@@ -34,6 +34,7 @@
 #include <span>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/simd.hpp"
 #include "fault/fault.hpp"
@@ -209,6 +210,26 @@ struct FaultSimResult {
     for (const std::uint8_t f : finalized) n += f;
     return n;
   }
+
+  /// Merge a partial result covering faults [offset, offset +
+  /// part.total_faults) of this result's universe — the one audited way
+  /// verdicts from campaign slices, checkpoint restores, and
+  /// distributed workers are combined. Only `part`'s finalized entries
+  /// are absorbed; `detected` and `stats` are updated incrementally.
+  ///
+  /// The merge is associative and commutative over disjoint finalized
+  /// sets: any arrival order of the same partials yields bit-identical
+  /// state. Audits enforced (Expected error, this result unmodified):
+  ///   MergeOverlap     a fault both sides already finalized — even in
+  ///                    agreement, a double-claimed fault means slice
+  ///                    accounting went wrong somewhere
+  ///   InvalidArgument  window out of bounds, or vector-count mismatch
+  Expected<void> merge(const FaultSimResult& part, std::size_t offset);
+
+  /// Gap audit after the last merge: every fault must carry a verdict.
+  /// Returns MergeGap naming the first hole, and leaves `complete`
+  /// true/false accordingly.
+  Expected<void> require_complete();
 
   std::size_t missed() const { return total_faults - detected; }
   double coverage() const {

@@ -35,6 +35,16 @@ Finding check_one(const CorpusCase& c, const std::string& scratch_dir,
     std::filesystem::remove(ckpt, ec); // keep the scratch dir clean
     if (f) return f;
   }
+  if ((property_mask & 4u) != 0 && !scratch_dir.empty()) {
+    const std::string dist_dir =
+        (std::filesystem::path(scratch_dir) / "fuzz-dist").string();
+    auto f = check_distributed_merge(c.filter, dist_dir);
+    if (!f.failed) { // leave the partials behind on failure
+      std::error_code ec;
+      std::filesystem::remove_all(dist_dir, ec);
+    }
+    if (f) return f;
+  }
   return Finding::ok();
 }
 
@@ -73,7 +83,7 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
         ++report.corpus_replayed;
         // Replay with every property enabled: a minimized reproducer is
         // small, so the full battery stays cheap.
-        if (auto f = check_one(*loaded, scratch, 3u)) {
+        if (auto f = check_one(*loaded, scratch, 7u)) {
           FuzzFinding finding;
           finding.kind = loaded->kind;
           finding.detail = f.detail;
@@ -100,8 +110,9 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
       c.filter = random_filter_case(case_seed);
       c.filter.mutate = opt.mutate;
     }
-    const unsigned mask =
-        (i % 8 == 1 ? 1u : 0u) | (i % 32 == 3 ? 2u : 0u);
+    const unsigned mask = (i % 8 == 1 ? 1u : 0u) |
+                          (i % 32 == 3 ? 2u : 0u) |
+                          (i % 16 == 7 ? 4u : 0u);
 
     Finding f = check_one(c, scratch, mask);
     ++report.cases_run;

@@ -8,7 +8,8 @@
 //      filter cases, each derived deterministically from (seed, index).
 //      Filter cases also run the property checkers on a fixed schedule
 //      (superposition and prefix dominance always; MISR aliasing every
-//      4th; mixed-engine checkpoint resume every 16th).
+//      4th; mixed-engine checkpoint resume every 16th; distributed
+//      slice-merge equality every 8th).
 //   3. On a failure: delta-debug the case down while the same category
 //      of finding persists, then serialize the minimized reproducer to
 //      the corpus directory.
@@ -76,9 +77,10 @@ struct FuzzReport {
 std::string finding_category(const std::string& detail);
 
 /// Run the full battery appropriate to a case's kind. `scratch_dir`
-/// hosts checkpoint files for the mixed-engine resume property (empty
-/// disables that property). `property_mask` selects optional
-/// properties: bit 0 = MISR aliasing, bit 1 = mixed-engine resume.
+/// hosts checkpoint files for the mixed-engine resume and distributed
+/// merge properties (empty disables both). `property_mask` selects
+/// optional properties: bit 0 = MISR aliasing, bit 1 = mixed-engine
+/// resume, bit 2 = distributed-vs-offline merge equality.
 Finding check_corpus_case(const CorpusCase& c,
                           const std::string& scratch_dir,
                           unsigned property_mask);

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "bist/misr.hpp"
+#include "dist/coordinator.hpp"
 #include "fault/campaign.hpp"
 #include "fault/fault.hpp"
 #include "gate/lower.hpp"
@@ -206,6 +207,40 @@ Finding check_mixed_engine_resume(const FilterCase& c,
     return Finding::fail(
         "mixed-resume: FullSweep-then-Compiled campaign verdicts differ "
         "from the one-shot reference");
+  return Finding::ok();
+}
+
+Finding check_distributed_merge(const FilterCase& c,
+                                const std::string& scratch_dir) {
+  const LoweredCase lc = prepare(c);
+  if (lc.faults.size() < 4) return Finding::ok();
+
+  fault::FaultSimOptions ref_opt;
+  ref_opt.num_threads = 1;
+  const auto ref =
+      simulate_faults(lc.low.netlist, lc.stim, lc.faults, ref_opt);
+
+  dist::DistOptions dopt;
+  dopt.num_workers = 0; // inline mode: slices, partials, merge — no forks
+  dopt.dir = scratch_dir;
+  // A case-derived slice size that never divides the universe evenly,
+  // so the final ragged slice is always exercised.
+  dopt.slice_faults = 1 + lc.faults.size() / 3;
+  dopt.compute.num_threads = 1;
+  dopt.verbose = false;
+  auto dr = dist::run_distributed(lc.low.netlist, lc.stim, lc.faults, dopt);
+  if (!dr)
+    return Finding::fail("distributed-merge: coordinator error " +
+                         dr.error().to_string());
+  if (!dr->sim.complete)
+    return Finding::fail("distributed-merge: coordinator stopped early (" +
+                         std::string(error_code_name(*dr->stop_reason)) +
+                         ")");
+  if (dr->sim.detect_cycle != ref.detect_cycle ||
+      dr->sim.detected != ref.detected)
+    return Finding::fail(
+        "distributed-merge: merged slice verdicts differ from the "
+        "one-shot reference");
   return Finding::ok();
 }
 

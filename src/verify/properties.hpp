@@ -18,6 +18,9 @@
 //   mixed-engine    a campaign checkpointed under one FaultSimEngine
 //   resume          and resumed under another merges to verdicts
 //                   bit-identical to an uninterrupted run
+//   distributed     a sliced coordinator run (dist/coordinator.hpp)
+//   merge           over the same universe merges partial results to
+//                   verdicts bit-identical to a one-shot offline run
 //
 // All return verify::Finding; property violations are fuzz findings
 // exactly like oracle discrepancies and go through the same
@@ -53,5 +56,14 @@ Finding check_misr_aliasing(const FilterCase& c, int misr_width = 16);
 /// file); it is overwritten and left behind on failure for post-mortem.
 Finding check_mixed_engine_resume(const FilterCase& c,
                                   const std::string& checkpoint_path);
+
+/// Distributed-vs-offline equality: run the case's fault sample through
+/// the distributed coordinator (inline mode — the full slice/partial/
+/// merge machinery without child processes) with a case-derived slice
+/// size, and require verdicts bit-identical to a one-shot
+/// simulate_faults. `scratch_dir` hosts the slice partials; the caller
+/// owns it (left behind on failure for post-mortem).
+Finding check_distributed_merge(const FilterCase& c,
+                                const std::string& scratch_dir);
 
 } // namespace fdbist::verify

@@ -14,6 +14,9 @@
 #include <string>
 #include <vector>
 
+#include <signal.h>
+
+#include "common/failpoint.hpp"
 #include "fault/campaign.hpp"
 #include "fault/checkpoint.hpp"
 #include "gate/lower.hpp"
@@ -459,6 +462,91 @@ TEST_F(CampaignTest, OversizedStimulusIsRefusedLoudly) {
   EXPECT_THROW(simulate_faults(fixture().low.netlist, bogus,
                                fixture().faults, opt),
                precondition_error);
+}
+
+// ---------------------------------------------------------------------------
+// Crash consistency of the atomic checkpoint write. Each death test
+// SIGKILLs a forked child at one failpoint seam inside
+// save_checkpoint and then audits the filesystem the child left
+// behind: at no seam may a torn or half-renamed file ever load.
+
+class CampaignDeathTest : public CampaignTest {};
+
+Checkpoint tagged_checkpoint(std::int32_t tag) {
+  Checkpoint ck;
+  ck.netlist_fp = 1;
+  ck.stimulus_fp = 2;
+  ck.faults_fp = 3;
+  ck.stimulus_len = 16;
+  ck.slice_size = 4;
+  ck.slice_finalized = {1, 1};
+  ck.detect_cycle.assign(8, tag);
+  return ck;
+}
+
+TEST_F(CampaignDeathTest, TornWriteNeverYieldsALoadableFile) {
+  const std::string p = path();
+  const Checkpoint ck = tagged_checkpoint(11);
+  EXPECT_EXIT(
+      {
+        (void)common::failpoint_configure("checkpoint-torn-write=crash");
+        (void)save_checkpoint(p, ck);
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+  EXPECT_FALSE(std::filesystem::exists(p))
+      << "a crash before the rename must leave the target untouched";
+  EXPECT_FALSE(load_checkpoint(p));
+  // The half-written tmp file, if present, must refuse to load too.
+  if (std::filesystem::exists(p + ".tmp")) {
+    EXPECT_FALSE(load_checkpoint(p + ".tmp"));
+  }
+}
+
+TEST_F(CampaignDeathTest, CrashBeforeRenameLeavesNoCheckpoint) {
+  const std::string p = path();
+  const Checkpoint ck = tagged_checkpoint(22);
+  EXPECT_EXIT(
+      {
+        (void)common::failpoint_configure("checkpoint-before-rename=crash");
+        (void)save_checkpoint(p, ck);
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+  EXPECT_FALSE(std::filesystem::exists(p));
+  EXPECT_FALSE(load_checkpoint(p));
+}
+
+TEST_F(CampaignDeathTest, CrashBeforeRenameKeepsThePreviousCheckpoint) {
+  const std::string p = path();
+  const Checkpoint old_ck = tagged_checkpoint(33);
+  ASSERT_TRUE(save_checkpoint(p, old_ck));
+  const Checkpoint new_ck = tagged_checkpoint(44);
+  EXPECT_EXIT(
+      {
+        (void)common::failpoint_configure("checkpoint-before-rename=crash");
+        (void)save_checkpoint(p, new_ck);
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+  auto survivor = load_checkpoint(p);
+  ASSERT_TRUE(survivor) << "previous good checkpoint must still load: "
+                        << survivor.error().to_string();
+  EXPECT_EQ(survivor->detect_cycle, old_ck.detect_cycle)
+      << "the interrupted save must not have replaced the old content";
+}
+
+TEST_F(CampaignDeathTest, CrashAfterRenameIsDurable) {
+  const std::string p = path();
+  const Checkpoint ck = tagged_checkpoint(55);
+  EXPECT_EXIT(
+      {
+        (void)common::failpoint_configure("checkpoint-after-rename=crash");
+        (void)save_checkpoint(p, ck);
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+  auto loaded = load_checkpoint(p);
+  ASSERT_TRUE(loaded) << "a renamed checkpoint is committed: "
+                      << loaded.error().to_string();
+  EXPECT_EQ(loaded->detect_cycle, ck.detect_cycle);
+  EXPECT_EQ(loaded->slice_finalized, ck.slice_finalized);
 }
 
 } // namespace

@@ -157,8 +157,12 @@ TEST(ProtectedSites, SurviveWithOpAndOperandPositionsIntact) {
     // Operand positions: each mapped operand carries the same value as
     // the original operand (A stays A, B stays B — pin faults depend
     // on it). The mapped operand must be the original operand's image.
-    if (g0.a != kNoNet) EXPECT_EQ(g1.a, res.net_map[std::size_t(g0.a)]);
-    if (g0.b != kNoNet) EXPECT_EQ(g1.b, res.net_map[std::size_t(g0.b)]);
+    if (g0.a != kNoNet) {
+      EXPECT_EQ(g1.a, res.net_map[std::size_t(g0.a)]);
+    }
+    if (g0.b != kNoNet) {
+      EXPECT_EQ(g1.b, res.net_map[std::size_t(g0.b)]);
+    }
   }
   expect_same_outputs(h.nl, res.netlist);
 }

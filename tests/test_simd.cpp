@@ -55,7 +55,9 @@ TYPED_TEST(SimdWordTest, LaneInsertExtract) {
     EXPECT_EQ(b.popcount(), 1);
     EXPECT_EQ(b.highest_lane(), l);
     EXPECT_TRUE(b.lane(l));
-    if (l > 0) EXPECT_FALSE(b.lane(l - 1));
+    if (l > 0) {
+      EXPECT_FALSE(b.lane(l - 1));
+    }
 
     W m = W::zero();
     m.set_lane(l, true);
