@@ -1,0 +1,161 @@
+// Ablation: measured difference-MISR aliasing vs the acceptance
+// envelope, on the production compaction path.
+//
+// For every registered design and a sweep of MISR widths, run the fault
+// kernel with FaultSimOptions::signature enabled and compare the
+// signature verdicts against the word-compare ground truth computed in
+// the same pass. `aliased = detected - signature_detected` must stay
+// under the envelope 2 + 64*N*2^-w for the default (primitive)
+// polynomial at each width; a degenerate x^w + x polynomial is measured
+// alongside as an uncontrolled reference to show the envelope is earned
+// by polynomial choice, not vacuous.
+//
+//   ablation_signature_aliasing [--json[=PATH]]
+//
+// --json writes machine-readable rows (BENCH_signature_aliasing.json by
+// default) for the CI perf artifact. Exit 1 if any default-polynomial
+// row breaks its envelope — the bench doubles as a correctness tripwire.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "designs/registry.hpp"
+#include "fault/simulator.hpp"
+#include "gate/lower.hpp"
+#include "tpg/generators.hpp"
+
+namespace {
+
+struct Row {
+  std::string design;
+  std::string family;
+  std::string polynomial; // "default" | "degenerate"
+  int width = 0;
+  std::uint32_t taps = 0;
+  std::size_t faults = 0;
+  std::size_t detected = 0;
+  std::size_t aliased = 0;
+  double bound = 0.0;
+  bool gated = false;
+};
+
+void append_json_row(std::string& out, const Row& r, bool last) {
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "    {\"design\": \"%s\", \"family\": \"%s\", "
+                "\"polynomial\": \"%s\", \"width\": %d, \"taps\": %u, "
+                "\"faults\": %zu, \"detected\": %zu, \"aliased\": %zu, "
+                "\"bound\": %.4f, \"gated\": %s}%s\n",
+                r.design.c_str(), r.family.c_str(), r.polynomial.c_str(),
+                r.width, r.taps, r.faults, r.detected, r.aliased, r.bound,
+                r.gated ? "true" : "false", last ? "" : ",");
+  out += buf;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace fdbist;
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = "BENCH_signature_aliasing.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json[=PATH]]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::size_t vectors = bench::budget(512);
+  bench::heading("Ablation: signature aliasing vs the envelope 2 + 64*N*2^-w"
+                 " (" + std::to_string(vectors) + " vectors)");
+  std::printf("  %-6s %-20s %-10s %5s %9s %9s %9s\n", "design", "family",
+              "poly", "width", "detected", "aliased", "bound");
+
+  std::vector<Row> rows;
+  bool envelope_broken = false;
+  for (const auto& entry : designs::design_registry()) {
+    const auto d = designs::make_design(entry.name);
+    const auto low = gate::lower(d.graph);
+    const auto all = fault::order_for_simulation(
+        fault::enumerate_adder_faults(low), low.netlist, d.graph);
+    std::vector<fault::Fault> faults;
+    const std::size_t stride = std::max<std::size_t>(all.size() / 400, 1);
+    for (std::size_t i = 0; i < all.size(); i += stride)
+      faults.push_back(all[i]);
+
+    auto gen = tpg::make_generator(tpg::GeneratorKind::LfsrD,
+                                   d.stats().width_in);
+    const auto stim = gen->generate_raw(vectors);
+
+    for (const int width : {8, 12, 16, 20, 24}) {
+      const std::uint32_t default_taps =
+          tpg::default_polynomial(width).low_terms;
+      // x^w + x: a non-primitive register that decouples bit lanes — the
+      // uncontrolled reference the envelope is measured against.
+      const std::uint32_t degenerate_taps = 0x2;
+      for (const bool degenerate : {false, true}) {
+        fault::FaultSimOptions opt;
+        opt.num_threads = bench::threads();
+        opt.signature.width = width;
+        opt.signature.taps = degenerate ? degenerate_taps : default_taps;
+        const auto r =
+            fault::simulate_faults(low.netlist, stim, faults, opt);
+        Row row;
+        row.design = entry.name;
+        row.family = rtl::family_name(entry.family);
+        row.polynomial = degenerate ? "degenerate" : "default";
+        row.width = width;
+        row.taps = opt.signature.taps;
+        row.faults = faults.size();
+        row.detected = r.detected;
+        row.aliased = r.aliased();
+        row.bound = 2.0 + 64.0 * double(r.detected) * std::ldexp(1.0, -width);
+        row.gated = !degenerate;
+        std::printf("  %-6s %-20s %-10s %5d %9zu %9zu %9.2f%s\n",
+                    row.design.c_str(), row.family.c_str(),
+                    row.polynomial.c_str(), width, row.detected, row.aliased,
+                    row.bound,
+                    row.gated && double(row.aliased) >= row.bound
+                        ? "  << ENVELOPE BROKEN"
+                        : "");
+        if (row.gated && double(row.aliased) >= row.bound)
+          envelope_broken = true;
+        rows.push_back(row);
+      }
+    }
+  }
+
+  bench::note("");
+  bench::note("gated rows use tpg::default_polynomial(width); degenerate "
+              "rows (x^w + x) are informational only.");
+
+  if (!json_path.empty()) {
+    std::string json = "{\n";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "  \"schema\": \"fdbist-signature-aliasing-v1\",\n"
+                  "  \"vectors\": %zu,\n  \"rows\": [\n",
+                  vectors);
+    json += buf;
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      append_json_row(json, rows[i], i + 1 == rows.size());
+    json += "  ]\n}\n";
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    bench::note("json report: " + json_path);
+  }
+
+  return envelope_broken ? 1 : 0;
+}

@@ -1,25 +1,38 @@
 // fdbist_cli — command-line driver over the whole library.
 //
+//   fdbist_cli designs
 //   fdbist_cli [--threads N] design   <lowpass|highpass|bandpass> <taps> <f1> [f2]
-//   fdbist_cli [--threads N] analyze  <lp|bp|hp>
-//   fdbist_cli [--threads N] faultsim <lp|bp|hp> <generator> <vectors>
-//   fdbist_cli [--threads N] campaign <lp|bp|hp> <generator> <vectors>
+//   fdbist_cli [--threads N] analyze  <design>
+//   fdbist_cli [--threads N] faultsim <design> <generator> <vectors>
+//                            [--design NAME] [--signature W]
+//   fdbist_cli [--threads N] campaign <design> <generator> <vectors>
+//                            [--design NAME] [--signature W]
 //                            [--checkpoint FILE] [--checkpoint-every N]
 //                            [--resume] [--deadline-s S]
-//   fdbist_cli [--threads N] coordinate <lp|bp|hp> <generator> <vectors>
-//                            --dir DIR [--workers N] [--slice-faults N]
+//   fdbist_cli [--threads N] coordinate <design> <generator> <vectors>
+//                            --dir DIR [--design NAME] [--signature W]
+//                            [--workers N] [--slice-faults N]
 //                            [--lease-ms N] [--max-attempts N]
 //                            [--backoff-ms N] [--backoff-cap-ms N]
 //                            [--max-respawns N] [--checkpoint-every N]
 //                            [--deadline-s S] [--worker-cmd PATH]
-//   fdbist_cli [--threads N] worker <lp|bp|hp> <generator> <vectors>
-//                            --dir DIR --worker-id N [--checkpoint-every N]
+//   fdbist_cli [--threads N] worker <design> <generator> <vectors>
+//                            --dir DIR --worker-id N [--signature W]
+//                            [--checkpoint-every N]
 //   fdbist_cli [--threads N] spectra  <generator> [samples]
-//   fdbist_cli [--threads N] export   <lp|bp|hp> <verilog|dot>
+//   fdbist_cli [--threads N] export   <design> <verilog|dot>
 //   fdbist_cli fuzz [--seed N] [--cases N] [--corpus DIR]
-//                   [--minimize 0|1] [--mutate K]
+//                   [--minimize 0|1] [--mutate K] [--family F]
 //
-// Generators: lfsr1 lfsr2 lfsrd lfsrm ramp mixed.
+// <design> is any name from `fdbist_cli designs` (case-insensitive:
+// LP, BP, HP, IIR4, DEC2, ...); the optional --design flag overrides
+// the positional, and an unknown name is a usage error (exit 2).
+// --signature W routes verdicts through a width-W MISR difference
+// register in the fault kernel (W in 2..31; the default primitive
+// polynomial) and reports measured aliasing against the word-compare
+// ground truth. Generators: lfsr1 lfsr2 lfsrd lfsrm ramp mixed —
+// generated at the design's input width (the packed word for
+// decimators).
 // --threads N shards fault simulation across N workers (0 = one per
 // hardware thread, the default; 1 = single-threaded legacy path).
 // Results are bit-identical for every N.
@@ -51,6 +64,9 @@
 // stopped before finishing reports *why* in its status: 3 cancellation,
 // 5 deadline expiry, 6 worker loss (a slice exhausted its retry budget
 // under `coordinate`). All three still print coverage-so-far.
+#include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -66,7 +82,7 @@
 #include "bist/kit.hpp"
 #include "common/parse.hpp"
 #include "common/subprocess.hpp"
-#include "designs/reference.hpp"
+#include "designs/registry.hpp"
 #include "dist/coordinator.hpp"
 #include "dist/worker.hpp"
 #include "dsp/spectrum.hpp"
@@ -74,6 +90,7 @@
 #include "gate/verilog.hpp"
 #include "rtl/dot_export.hpp"
 #include "tpg/generators.hpp"
+#include "tpg/lfsr.hpp"
 #include "verify/fuzz.hpp"
 
 namespace {
@@ -92,33 +109,45 @@ constexpr std::size_t kMaxVectors = std::numeric_limits<std::int32_t>::max();
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
+               "  fdbist_cli designs\n"
                "  fdbist_cli [--threads N] design   "
                "<lowpass|highpass|bandpass> <taps> <f1> [f2]\n"
-               "  fdbist_cli [--threads N] analyze  <lp|bp|hp>\n"
-               "  fdbist_cli [--threads N] faultsim <lp|bp|hp> <generator> "
+               "  fdbist_cli [--threads N] analyze  <design>\n"
+               "  fdbist_cli [--threads N] faultsim <design> <generator> "
                "<vectors>\n"
-               "  fdbist_cli [--threads N] campaign <lp|bp|hp> <generator> "
+               "                           [--design NAME] [--signature W]\n"
+               "  fdbist_cli [--threads N] campaign <design> <generator> "
                "<vectors>\n"
-               "                           [--checkpoint FILE] "
-               "[--checkpoint-every N] [--resume] [--deadline-s S]\n"
-               "  fdbist_cli [--threads N] coordinate <lp|bp|hp> <generator> "
+               "                           [--design NAME] [--signature W] "
+               "[--checkpoint FILE]\n"
+               "                           [--checkpoint-every N] [--resume] "
+               "[--deadline-s S]\n"
+               "  fdbist_cli [--threads N] coordinate <design> <generator> "
                "<vectors> --dir DIR\n"
-               "                           [--workers N] [--slice-faults N] "
-               "[--lease-ms N] [--max-attempts N]\n"
-               "                           [--backoff-ms N] "
-               "[--backoff-cap-ms N] [--max-respawns N]\n"
+               "                           [--design NAME] [--signature W] "
+               "[--workers N] [--slice-faults N]\n"
+               "                           [--lease-ms N] [--max-attempts N] "
+               "[--backoff-ms N]\n"
+               "                           [--backoff-cap-ms N] "
+               "[--max-respawns N]\n"
                "                           [--checkpoint-every N] "
                "[--deadline-s S] [--worker-cmd PATH]\n"
-               "  fdbist_cli [--threads N] worker <lp|bp|hp> <generator> "
+               "  fdbist_cli [--threads N] worker <design> <generator> "
                "<vectors> --dir DIR\n"
-               "                           --worker-id N "
+               "                           --worker-id N [--signature W] "
                "[--checkpoint-every N]\n"
                "  fdbist_cli [--threads N] spectra  <generator> [samples]\n"
-               "  fdbist_cli [--threads N] export   <lp|bp|hp> "
+               "  fdbist_cli [--threads N] export   <design> "
                "<verilog|dot>\n"
                "  fdbist_cli fuzz [--seed N] [--cases N] [--corpus DIR]\n"
-               "                  [--minimize 0|1] [--mutate K]\n"
-               "generators: lfsr1 lfsr2 lfsrd lfsrm ramp mixed\n"
+               "                  [--minimize 0|1] [--mutate K] "
+               "[--family <fir|iir|decimator>]\n"
+               "<design>: a registry name (`fdbist_cli designs` lists "
+               "them), case-insensitive\n"
+               "generators: lfsr1 lfsr2 lfsrd lfsrm ramp mixed (run at the "
+               "design's input width)\n"
+               "--signature W: compact responses in a width-W MISR "
+               "(2..31) and report measured aliasing\n"
                "--threads N: fault-sim worker threads (0 = one per "
                "hardware thread; results identical for any N)\n"
                "exit codes: 0 ok, 1 error, 2 usage, 4 fuzz discrepancy;\n"
@@ -150,22 +179,47 @@ std::optional<double> arg_double(const char* text, const char* what,
   return *v;
 }
 
-std::optional<designs::ReferenceFilter> parse_design(const char* s) {
-  if (std::strcmp(s, "lp") == 0) return designs::ReferenceFilter::Lowpass;
-  if (std::strcmp(s, "bp") == 0) return designs::ReferenceFilter::Bandpass;
-  if (std::strcmp(s, "hp") == 0) return designs::ReferenceFilter::Highpass;
+/// Resolve a design argument against the named registry,
+/// case-insensitively. Unknown names print a one-line error (the
+/// caller then prints usage and exits 2).
+std::optional<std::string> resolve_design_name(const char* s) {
+  std::string name(s);
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return char(std::toupper(c)); });
+  if (designs::has_design(name)) return name;
+  std::fprintf(stderr,
+               "fdbist_cli: unknown design \"%s\" (try `fdbist_cli "
+               "designs`)\n",
+               s);
   return std::nullopt;
 }
 
+/// Strict --signature argument: MISR width in 2..31, compaction through
+/// the default primitive polynomial of that degree.
+std::optional<fault::SignatureOptions> arg_signature(const char* text) {
+  const auto w = arg_size(text, "--signature", 2, 31);
+  if (!w) return std::nullopt;
+  fault::SignatureOptions sig;
+  sig.width = static_cast<int>(*w);
+  sig.taps = tpg::default_polynomial(sig.width).low_terms;
+  return sig;
+}
+
 std::unique_ptr<tpg::Generator> parse_generator(const std::string& s,
-                                                std::size_t vectors) {
-  if (s == "lfsr1") return tpg::make_generator(tpg::GeneratorKind::Lfsr1);
-  if (s == "lfsr2") return tpg::make_generator(tpg::GeneratorKind::Lfsr2);
-  if (s == "lfsrd") return tpg::make_generator(tpg::GeneratorKind::LfsrD);
-  if (s == "lfsrm") return tpg::make_generator(tpg::GeneratorKind::LfsrM);
-  if (s == "ramp") return tpg::make_generator(tpg::GeneratorKind::Ramp);
+                                                std::size_t vectors,
+                                                int width = 12) {
+  if (s == "lfsr1")
+    return tpg::make_generator(tpg::GeneratorKind::Lfsr1, width);
+  if (s == "lfsr2")
+    return tpg::make_generator(tpg::GeneratorKind::Lfsr2, width);
+  if (s == "lfsrd")
+    return tpg::make_generator(tpg::GeneratorKind::LfsrD, width);
+  if (s == "lfsrm")
+    return tpg::make_generator(tpg::GeneratorKind::LfsrM, width);
+  if (s == "ramp")
+    return tpg::make_generator(tpg::GeneratorKind::Ramp, width);
   if (s == "mixed")
-    return std::make_unique<tpg::SwitchedLfsr>(12, vectors / 2, 1);
+    return std::make_unique<tpg::SwitchedLfsr>(width, vectors / 2, 1);
   return nullptr;
 }
 
@@ -205,11 +259,30 @@ int cmd_design(int argc, char** argv) {
   return 0;
 }
 
+int cmd_designs() {
+  for (const auto& e : designs::design_registry()) {
+    const auto d = designs::make_design(e.name);
+    const auto s = d.stats();
+    char shape[32];
+    if (d.family == rtl::DesignFamily::Fir)
+      std::snprintf(shape, sizeof shape, "%zu taps", d.coefs.size());
+    else if (d.family == rtl::DesignFamily::IirBiquad)
+      std::snprintf(shape, sizeof shape, "%zu sections", d.sections);
+    else
+      std::snprintf(shape, sizeof shape, "%zu phases", d.sections);
+    std::printf("%-6s %-20s %-12s widths %d/%d/%d, %3zu adders  %s\n",
+                e.name.c_str(), rtl::family_name(d.family), shape,
+                s.width_in, s.width_coef, s.width_out, s.adders,
+                e.description.c_str());
+  }
+  return 0;
+}
+
 int cmd_analyze(int argc, char** argv) {
   if (argc < 2) return usage();
-  const auto which = parse_design(argv[1]);
-  if (!which) return usage();
-  const auto d = designs::make_reference(*which);
+  const auto name = resolve_design_name(argv[1]);
+  if (!name) return usage();
+  const auto d = designs::make_design(*name);
   std::printf("design %s: %zu adders\n", d.name.c_str(),
               d.stats().adders);
   const auto sigma = analysis::predict_sigma_lfsr1(d, 12);
@@ -256,36 +329,73 @@ void print_coverage_line(const std::string& design, const std::string& gen,
               r.detected, r.total_faults, r.missed(), signature);
 }
 
+/// Extra line printed by faultsim/campaign/coordinate when --signature
+/// is on: the *measured* aliasing of the compactor next to the paper's
+/// 2 + 64*N*2^-w expectation (DESIGN.md §13). No-op otherwise, so the
+/// kill-and-resume output diff is unchanged for uncompacted runs.
+void print_signature_line(const fault::SignatureOptions& sig,
+                          const fault::FaultSimResult& r) {
+  if (!sig.enabled()) return;
+  const double expectation =
+      2.0 + 64.0 * double(r.detected) * std::ldexp(1.0, -sig.width);
+  std::printf("signature %d-bit (taps %03X): detected %zu/%zu, aliased "
+              "%zu (expected < %.2f)\n",
+              sig.width, sig.taps, r.signature_detected(), r.detected,
+              r.aliased(), expectation);
+}
+
 int cmd_faultsim(int argc, char** argv) {
   if (argc < 4) return usage();
-  const auto which = parse_design(argv[1]);
+  auto name = resolve_design_name(argv[1]);
   const auto vectors = arg_size(argv[3], "<vectors>", 1, kMaxVectors);
-  if (!which || !vectors) return usage();
-  auto gen = parse_generator(argv[2], *vectors);
-  if (!gen) return usage();
-  const auto d = designs::make_reference(*which);
-  bist::BistKit kit(d);
+  if (!name || !vectors) return usage();
+
   fault::FaultSimOptions opt;
   opt.num_threads = g_threads;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--design") == 0 && i + 1 < argc) {
+      name = resolve_design_name(argv[++i]);
+      if (!name) return usage();
+    } else if (std::strcmp(argv[i], "--signature") == 0 && i + 1 < argc) {
+      const auto sig = arg_signature(argv[++i]);
+      if (!sig) return usage();
+      opt.signature = *sig;
+    } else {
+      std::fprintf(stderr, "fdbist_cli: unknown faultsim flag \"%s\"\n",
+                   argv[i]);
+      return usage();
+    }
+  }
+
+  const auto d = designs::make_design(*name);
+  auto gen = parse_generator(argv[2], *vectors, d.stats().width_in);
+  if (!gen) return usage();
+  bist::BistKit kit(d);
   const auto report = kit.evaluate(*gen, *vectors, opt);
   print_coverage_line(d.name, gen->name(), *vectors, report.fault_result,
                       report.golden_signature);
+  print_signature_line(opt.signature, report.fault_result);
   return 0;
 }
 
 int cmd_campaign(int argc, char** argv) {
   if (argc < 4) return usage();
-  const auto which = parse_design(argv[1]);
+  auto name = resolve_design_name(argv[1]);
   const auto vectors = arg_size(argv[3], "<vectors>", 1, kMaxVectors);
-  if (!which || !vectors) return usage();
-  auto gen = parse_generator(argv[2], *vectors);
-  if (!gen) return usage();
+  if (!name || !vectors) return usage();
 
   fault::CampaignOptions copt;
   copt.num_threads = g_threads;
   copt.checkpoint_every = 1024;
   for (int i = 4; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--design") == 0 && i + 1 < argc) {
+      name = resolve_design_name(argv[++i]);
+      if (!name) return usage();
+    } else if (std::strcmp(argv[i], "--signature") == 0 && i + 1 < argc) {
+      const auto sig = arg_signature(argv[++i]);
+      if (!sig) return usage();
+      copt.signature = *sig;
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
       copt.checkpoint_path = argv[++i];
     } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
                i + 1 < argc) {
@@ -310,7 +420,10 @@ int cmd_campaign(int argc, char** argv) {
     return usage();
   }
 
-  const auto d = designs::make_reference(*which);
+  const auto d = designs::make_design(*name);
+  copt.family = static_cast<std::uint32_t>(d.family);
+  auto gen = parse_generator(argv[2], *vectors, d.stats().width_in);
+  if (!gen) return usage();
   bist::BistKit kit(d);
   gen->reset();
   const auto stimulus = gen->generate_raw(*vectors);
@@ -340,16 +453,15 @@ int cmd_campaign(int argc, char** argv) {
   if (!r.complete) return print_partial(r, *res->stop_reason);
   print_coverage_line(d.name, gen->name(), *vectors, r,
                       kit.golden_signature(stimulus));
+  print_signature_line(copt.signature, r);
   return 0;
 }
 
 int cmd_worker(int argc, char** argv) {
   if (argc < 4) return usage();
-  const auto which = parse_design(argv[1]);
+  auto name = resolve_design_name(argv[1]);
   const auto vectors = arg_size(argv[3], "<vectors>", 1, kMaxVectors);
-  if (!which || !vectors) return usage();
-  auto gen = parse_generator(argv[2], *vectors);
-  if (!gen) return usage();
+  if (!name || !vectors) return usage();
 
   dist::WorkerOptions wopt;
   wopt.compute.num_threads = g_threads;
@@ -357,6 +469,13 @@ int cmd_worker(int argc, char** argv) {
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
       wopt.dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--design") == 0 && i + 1 < argc) {
+      name = resolve_design_name(argv[++i]);
+      if (!name) return usage();
+    } else if (std::strcmp(argv[i], "--signature") == 0 && i + 1 < argc) {
+      const auto sig = arg_signature(argv[++i]);
+      if (!sig) return usage();
+      wopt.compute.signature = *sig;
     } else if (std::strcmp(argv[i], "--worker-id") == 0 && i + 1 < argc) {
       const auto id = arg_size(argv[++i], "--worker-id", 0, 1u << 20);
       if (!id) return usage();
@@ -380,7 +499,10 @@ int cmd_worker(int argc, char** argv) {
     return usage();
   }
 
-  const auto d = designs::make_reference(*which);
+  const auto d = designs::make_design(*name);
+  wopt.compute.family = static_cast<std::uint32_t>(d.family);
+  auto gen = parse_generator(argv[2], *vectors, d.stats().width_in);
+  if (!gen) return usage();
   bist::BistKit kit(d);
   gen->reset();
   const auto stimulus = gen->generate_raw(*vectors);
@@ -396,11 +518,9 @@ int cmd_worker(int argc, char** argv) {
 
 int cmd_coordinate(int argc, char** argv) {
   if (argc < 4) return usage();
-  const auto which = parse_design(argv[1]);
+  auto name = resolve_design_name(argv[1]);
   const auto vectors = arg_size(argv[3], "<vectors>", 1, kMaxVectors);
-  if (!which || !vectors) return usage();
-  auto gen = parse_generator(argv[2], *vectors);
-  if (!gen) return usage();
+  if (!name || !vectors) return usage();
 
   dist::DistOptions dopt;
   dopt.compute.num_threads = g_threads;
@@ -409,6 +529,13 @@ int cmd_coordinate(int argc, char** argv) {
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
       dopt.dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--design") == 0 && i + 1 < argc) {
+      name = resolve_design_name(argv[++i]);
+      if (!name) return usage();
+    } else if (std::strcmp(argv[i], "--signature") == 0 && i + 1 < argc) {
+      const auto sig = arg_signature(argv[++i]);
+      if (!sig) return usage();
+      dopt.compute.signature = *sig;
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       const auto n = arg_size(argv[++i], "--workers", 0, 256);
       if (!n) return usage();
@@ -463,19 +590,28 @@ int cmd_coordinate(int argc, char** argv) {
   dopt.compute.checkpoint_every = checkpoint_every;
 
   // Workers are this very binary re-invoked in `worker` mode with the
-  // same universe arguments; the coordinator appends the slot index
-  // after the trailing --worker-id. --workers 0 skips processes
-  // entirely (every slice runs inline).
+  // same universe arguments (the *resolved* design name, so a --design
+  // override reaches the children too); the coordinator appends the
+  // slot index after the trailing --worker-id. --workers 0 skips
+  // processes entirely (every slice runs inline).
   if (dopt.num_workers > 0) {
     dopt.worker_argv = {
         worker_cmd.empty() ? common::self_exe_path(g_argv0) : worker_cmd,
-        "--threads", "1", "worker", argv[1], argv[2], argv[3],
+        "--threads", "1", "worker", *name, argv[2], argv[3],
         "--dir", dopt.dir,
-        "--checkpoint-every", std::to_string(checkpoint_every),
-        "--worker-id"};
+        "--checkpoint-every", std::to_string(checkpoint_every)};
+    if (dopt.compute.signature.enabled()) {
+      dopt.worker_argv.push_back("--signature");
+      dopt.worker_argv.push_back(
+          std::to_string(dopt.compute.signature.width));
+    }
+    dopt.worker_argv.push_back("--worker-id");
   }
 
-  const auto d = designs::make_reference(*which);
+  const auto d = designs::make_design(*name);
+  dopt.compute.family = static_cast<std::uint32_t>(d.family);
+  auto gen = parse_generator(argv[2], *vectors, d.stats().width_in);
+  if (!gen) return usage();
   bist::BistKit kit(d);
   gen->reset();
   const auto stimulus = gen->generate_raw(*vectors);
@@ -498,6 +634,7 @@ int cmd_coordinate(int argc, char** argv) {
   if (!r.complete) return print_partial(r, *res->stop_reason);
   print_coverage_line(d.name, gen->name(), *vectors, r,
                       kit.golden_signature(stimulus));
+  print_signature_line(dopt.compute.signature, r);
   return 0;
 }
 
@@ -522,6 +659,16 @@ int cmd_fuzz(int argc, char** argv) {
       const auto k = arg_size(argv[++i], "--mutate", 0, 1u << 20);
       if (!k) return usage();
       fopt.mutate = static_cast<std::int32_t>(*k);
+    } else if (std::strcmp(argv[i], "--family") == 0 && i + 1 < argc) {
+      rtl::DesignFamily fam;
+      if (!rtl::parse_design_family(argv[++i], fam)) {
+        std::fprintf(stderr,
+                     "fdbist_cli: unknown family \"%s\" (fir, iir, "
+                     "decimator)\n",
+                     argv[i]);
+        return usage();
+      }
+      fopt.family = static_cast<std::int32_t>(fam);
     } else {
       std::fprintf(stderr, "fdbist_cli: unknown fuzz flag \"%s\"\n",
                    argv[i]);
@@ -586,9 +733,9 @@ int cmd_spectra(int argc, char** argv) {
 
 int cmd_export(int argc, char** argv) {
   if (argc < 3) return usage();
-  const auto which = parse_design(argv[1]);
-  if (!which) return usage();
-  const auto d = designs::make_reference(*which);
+  const auto name = resolve_design_name(argv[1]);
+  if (!name) return usage();
+  const auto d = designs::make_design(*name);
   if (std::strcmp(argv[2], "verilog") == 0) {
     const auto low = gate::lower(d.graph);
     gate::VerilogOptions opt;
@@ -618,6 +765,7 @@ int main(int argc, char** argv) {
   }
   if (argc < 2) return usage();
   try {
+    if (std::strcmp(argv[1], "designs") == 0) return cmd_designs();
     if (std::strcmp(argv[1], "design") == 0)
       return cmd_design(argc - 1, argv + 1);
     if (std::strcmp(argv[1], "analyze") == 0)

@@ -1,0 +1,14 @@
+#include "common/fingerprint.hpp"
+
+namespace fdbist::common {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+} // namespace fdbist::common

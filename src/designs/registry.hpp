@@ -1,0 +1,40 @@
+// Named-design registry.
+//
+// Every workload the pipeline can target — the paper's three Table 1
+// FIRs plus the added IIR biquad cascade and polyphase decimator
+// reference designs — is registered here under a stable name, so the
+// CLI (--design), the distributed layer, and the test suites all build
+// designs through one front door. Entries carry the design family; the
+// family tag then rides through checkpoints, distributed partials, the
+// corpus format, and the verify oracle's per-family budgets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "designs/reference.hpp"
+#include "rtl/builder.hpp"
+
+namespace fdbist::designs {
+
+struct RegistryEntry {
+  std::string name;
+  rtl::DesignFamily family = rtl::DesignFamily::Fir;
+  std::string description;
+};
+
+/// All registered designs, in a fixed, deterministic order
+/// (LP, BP, HP, IIR4, DEC2).
+const std::vector<RegistryEntry>& design_registry();
+
+/// True when `name` is registered.
+bool has_design(const std::string& name);
+
+/// Build a registered design by name. Throws precondition_error on an
+/// unknown name (the message lists the registered names).
+rtl::FilterDesign make_design(const std::string& name);
+
+/// Build every registered design, in registry order.
+std::vector<rtl::FilterDesign> make_all_designs();
+
+} // namespace fdbist::designs

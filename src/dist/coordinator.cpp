@@ -121,7 +121,7 @@ struct Coordinator {
       return {};
     }
     if (auto v = validate_partial(*p, fp, faults.size(), stimulus.size(),
-                                  spec.lo, spec.count);
+                                  spec.lo, spec.count, opt.compute.signature);
         !v) {
       reject(v.error());
       return {};
@@ -398,7 +398,7 @@ struct Coordinator {
                                       opt.dir + " (" + std::strerror(errno) +
                                       ")"};
     if (opt.deadline_s > 0) token.set_deadline_after(opt.deadline_s);
-    fp = fingerprint_universe(nl, stimulus, faults);
+    fp = fingerprint_universe(nl, stimulus, faults, opt.compute.family);
 
     const std::size_t total = faults.size();
     const std::size_t per = std::max<std::size_t>(opt.slice_faults, 1);
@@ -410,6 +410,8 @@ struct Coordinator {
     res.sim.vectors = stimulus.size();
     res.sim.detect_cycle.assign(total, -1);
     res.sim.finalized.assign(total, 0);
+    if (opt.compute.signature.enabled())
+      res.sim.signature_detect.assign(total, 0);
 
     queue = std::make_unique<SliceQueue>(
         std::move(specs), opt.lease_ms, std::max<std::size_t>(
@@ -429,7 +431,7 @@ struct Coordinator {
       }
       const SliceSpec& spec = queue->spec(i);
       if (!validate_partial(*p, fp, total, stimulus.size(), spec.lo,
-                            spec.count)) {
+                            spec.count, opt.compute.signature)) {
         std::remove(path.c_str());
         continue;
       }

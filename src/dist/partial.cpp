@@ -4,7 +4,9 @@
 #include <cstring>
 
 #include "common/atomic_file.hpp"
+#include "common/check.hpp"
 #include "common/failpoint.hpp"
+#include "common/fingerprint.hpp"
 #include "fault/campaign.hpp"
 #include "fault/checkpoint.hpp"
 
@@ -12,33 +14,14 @@ namespace fdbist::dist {
 
 namespace {
 
+using common::fnv1a;
+using common::kFnvSeed;
+using common::put_bytes;
+using common::take_bytes;
+
 constexpr char kMagic[4] = {'F', 'D', 'B', 'P'};
-constexpr std::size_t kHeaderBytes = 64;
+constexpr std::size_t kHeaderBytes = 80;
 constexpr std::size_t kChecksumBytes = 8;
-constexpr std::uint64_t kFnvSeed = 14695981039346656037ULL;
-
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-template <typename T>
-void put(std::vector<std::uint8_t>& out, const T& v) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  out.insert(out.end(), p, p + sizeof v);
-}
-
-template <typename T>
-T take(const std::vector<std::uint8_t>& in, std::size_t& offset) {
-  T v;
-  std::memcpy(&v, in.data() + offset, sizeof v);
-  offset += sizeof v;
-  return v;
-}
 
 Error corrupt(const std::string& why) {
   return Error{ErrorCode::CorruptCheckpoint, "partial result " + why};
@@ -48,10 +31,11 @@ Error corrupt(const std::string& why) {
 
 UniverseFp fingerprint_universe(const gate::Netlist& nl,
                                 std::span<const std::int64_t> stimulus,
-                                std::span<const fault::Fault> faults) {
+                                std::span<const fault::Fault> faults,
+                                std::uint32_t family) {
   return UniverseFp{fault::fingerprint_netlist(nl),
                     fault::fingerprint_stimulus(stimulus),
-                    fault::fingerprint_faults(faults)};
+                    fault::fingerprint_faults(faults), family};
 }
 
 std::string partial_path(const std::string& dir, std::size_t slice) {
@@ -63,23 +47,31 @@ std::string slice_checkpoint_path(const std::string& dir, std::size_t slice) {
 }
 
 Expected<void> save_partial(const std::string& path, const SlicePartial& p) {
+  FDBIST_REQUIRE(p.signature_detect.size() ==
+                     (p.sig_width == 0 ? 0 : p.detect_cycle.size()),
+                 "signature array must be empty or cover the slice");
   std::vector<std::uint8_t> buf;
   buf.reserve(kHeaderBytes + p.detect_cycle.size() * sizeof(std::int32_t) +
-              kChecksumBytes);
+              p.signature_detect.size() + kChecksumBytes);
   buf.insert(buf.end(), kMagic, kMagic + 4);
-  put(buf, kPartialVersion);
-  put(buf, p.fp.netlist);
-  put(buf, p.fp.stimulus);
-  put(buf, p.fp.faults);
-  put(buf, p.total_faults);
-  put(buf, p.vectors);
-  put(buf, p.lo);
-  put(buf, std::uint64_t{p.detect_cycle.size()});
+  put_bytes(buf, kPartialVersion);
+  put_bytes(buf, p.fp.netlist);
+  put_bytes(buf, p.fp.stimulus);
+  put_bytes(buf, p.fp.faults);
+  put_bytes(buf, p.total_faults);
+  put_bytes(buf, p.vectors);
+  put_bytes(buf, p.lo);
+  put_bytes(buf, std::uint64_t{p.detect_cycle.size()});
+  put_bytes(buf, p.fp.family);
+  put_bytes(buf, p.sig_width);
+  put_bytes(buf, p.sig_taps);
+  put_bytes(buf, std::uint32_t{0}); // reserved
   const auto* cycles =
       reinterpret_cast<const std::uint8_t*>(p.detect_cycle.data());
   buf.insert(buf.end(), cycles,
              cycles + p.detect_cycle.size() * sizeof(std::int32_t));
-  put(buf, fnv1a(kFnvSeed, buf.data(), buf.size()));
+  buf.insert(buf.end(), p.signature_detect.begin(), p.signature_detect.end());
+  put_bytes(buf, fnv1a(kFnvSeed, buf.data(), buf.size()));
   return common::atomic_write_file(path, buf, "partial");
 }
 
@@ -103,47 +95,61 @@ Expected<SlicePartial> load_partial(const std::string& path) {
     return corrupt("has bad magic");
 
   std::size_t off = 4;
-  const auto version = take<std::uint32_t>(buf, off);
+  const auto version = take_bytes<std::uint32_t>(buf, off);
   if (version != kPartialVersion)
     return corrupt("has unsupported version " + std::to_string(version));
 
   SlicePartial p;
-  p.fp.netlist = take<std::uint64_t>(buf, off);
-  p.fp.stimulus = take<std::uint64_t>(buf, off);
-  p.fp.faults = take<std::uint64_t>(buf, off);
-  p.total_faults = take<std::uint64_t>(buf, off);
-  p.vectors = take<std::uint64_t>(buf, off);
-  p.lo = take<std::uint64_t>(buf, off);
-  const auto count = take<std::uint64_t>(buf, off);
+  p.fp.netlist = take_bytes<std::uint64_t>(buf, off);
+  p.fp.stimulus = take_bytes<std::uint64_t>(buf, off);
+  p.fp.faults = take_bytes<std::uint64_t>(buf, off);
+  p.total_faults = take_bytes<std::uint64_t>(buf, off);
+  p.vectors = take_bytes<std::uint64_t>(buf, off);
+  p.lo = take_bytes<std::uint64_t>(buf, off);
+  const auto count = take_bytes<std::uint64_t>(buf, off);
+  p.fp.family = take_bytes<std::uint32_t>(buf, off);
+  p.sig_width = take_bytes<std::uint32_t>(buf, off);
+  p.sig_taps = take_bytes<std::uint32_t>(buf, off);
+  (void)take_bytes<std::uint32_t>(buf, off); // reserved
 
   if (p.lo > p.total_faults || count > p.total_faults - p.lo)
     return corrupt("window [" + std::to_string(p.lo) + ", +" +
                    std::to_string(count) + ") exceeds its own universe");
+  const std::size_t sig_bytes = p.sig_width == 0 ? 0 : std::size_t(count);
   const std::size_t expected = kHeaderBytes +
                                std::size_t(count) * sizeof(std::int32_t) +
-                               kChecksumBytes;
+                               sig_bytes + kChecksumBytes;
   if (buf.size() != expected)
     return corrupt("is truncated or oversized (" +
                    std::to_string(buf.size()) + " bytes, expected " +
                    std::to_string(expected) + ")");
 
   std::size_t checksum_off = buf.size() - kChecksumBytes;
-  const std::uint64_t stored = take<std::uint64_t>(buf, checksum_off);
+  const std::uint64_t stored = take_bytes<std::uint64_t>(buf, checksum_off);
   if (fnv1a(kFnvSeed, buf.data(), buf.size() - kChecksumBytes) != stored)
     return corrupt("failed its checksum");
 
   p.detect_cycle.resize(std::size_t(count));
   std::memcpy(p.detect_cycle.data(), buf.data() + off,
               p.detect_cycle.size() * sizeof(std::int32_t));
+  off += p.detect_cycle.size() * sizeof(std::int32_t);
+  if (sig_bytes != 0)
+    p.signature_detect.assign(buf.data() + off, buf.data() + off + sig_bytes);
   return p;
 }
 
 Expected<void> validate_partial(const SlicePartial& p, const UniverseFp& fp,
                                 std::size_t total_faults, std::size_t vectors,
-                                std::size_t lo, std::size_t count) {
+                                std::size_t lo, std::size_t count,
+                                const fault::SignatureOptions& sig) {
   if (p.fp != fp)
     return Error{ErrorCode::FingerprintMismatch,
                  "partial result was written by a different campaign"};
+  if (p.sig_width != static_cast<std::uint32_t>(sig.width) ||
+      p.sig_taps != sig.taps)
+    return Error{ErrorCode::FingerprintMismatch,
+                 "partial result was written under a different signature "
+                 "configuration"};
   if (p.total_faults != total_faults || p.vectors != vectors)
     return Error{ErrorCode::FingerprintMismatch,
                  "partial result geometry differs (" +
@@ -164,6 +170,7 @@ Expected<void> merge_partial(fault::FaultSimResult& into,
   part.vectors = p.vectors;
   part.detect_cycle = p.detect_cycle;
   part.finalized.assign(p.detect_cycle.size(), 1);
+  part.signature_detect = p.signature_detect;
   return into.merge(part, p.lo);
 }
 
@@ -180,6 +187,8 @@ Expected<void> compute_and_save_slice(const gate::Netlist& nl,
   copt.engine = opt.engine;
   copt.simd = opt.simd;
   copt.passes = opt.passes;
+  copt.family = opt.family;
+  copt.signature = opt.signature;
   copt.checkpoint_every =
       opt.checkpoint_every == 0 ? count
                                 : std::min(opt.checkpoint_every, count);
@@ -208,7 +217,10 @@ Expected<void> compute_and_save_slice(const gate::Netlist& nl,
   p.total_faults = faults.size();
   p.vectors = stimulus.size();
   p.lo = lo;
+  p.sig_width = static_cast<std::uint32_t>(opt.signature.width);
+  p.sig_taps = opt.signature.taps;
   p.detect_cycle = r->sim.detect_cycle;
+  p.signature_detect = r->sim.signature_detect;
   if (auto saved = save_partial(partial_path(dir, slice), p); !saved)
     return saved.error();
 

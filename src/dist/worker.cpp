@@ -53,7 +53,8 @@ Expected<void> run_worker(const gate::Netlist& nl,
                           std::span<const std::int64_t> stimulus,
                           std::span<const fault::Fault> faults,
                           const WorkerOptions& opt) {
-  const UniverseFp fp = fingerprint_universe(nl, stimulus, faults);
+  const UniverseFp fp =
+      fingerprint_universe(nl, stimulus, faults, opt.compute.family);
 
   Message hello;
   hello.kind = MsgKind::Hello;

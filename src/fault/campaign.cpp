@@ -44,17 +44,24 @@ Expected<CampaignResult> run_campaign(const gate::Netlist& nl,
   const std::size_t num_slices = (total + slice - 1) / slice;
   const bool persist = !opt.checkpoint_path.empty();
 
+  const bool sig_on = opt.signature.enabled();
+
   CampaignResult res;
   res.sim.total_faults = total;
   res.sim.vectors = stimulus.size();
   res.sim.detect_cycle.assign(total, -1);
   res.sim.finalized.assign(total, 0);
+  if (sig_on) res.sim.signature_detect.assign(total, 0);
 
   Checkpoint ck;
   ck.stimulus_len = stimulus.size();
   ck.slice_size = slice;
+  ck.family = opt.family;
+  ck.sig_width = static_cast<std::uint32_t>(opt.signature.width);
+  ck.sig_taps = opt.signature.taps;
   ck.slice_finalized.assign(num_slices, 0);
   ck.detect_cycle.assign(total, -1);
+  if (sig_on) ck.signature_detect.assign(total, 0);
   if (persist) {
     ck.netlist_fp = fingerprint_netlist(nl);
     ck.stimulus_fp = fingerprint_stimulus(stimulus);
@@ -80,6 +87,11 @@ Expected<CampaignResult> run_campaign(const gate::Netlist& nl,
     if (old.slice_size != slice)
       return refuse("checkpoint_every was " + std::to_string(old.slice_size) +
                     ", now " + std::to_string(slice));
+    if (old.family != ck.family)
+      return refuse("design family " + std::to_string(old.family) +
+                    " differs from " + std::to_string(ck.family));
+    if (old.sig_width != ck.sig_width || old.sig_taps != ck.sig_taps)
+      return refuse("signature configuration differs");
 
     ck.slice_finalized = old.slice_finalized;
     // Reconstitute the checkpoint's finalized slices as one partial
@@ -90,6 +102,7 @@ Expected<CampaignResult> run_campaign(const gate::Netlist& nl,
     restored.vectors = stimulus.size();
     restored.detect_cycle.assign(total, -1);
     restored.finalized.assign(total, 0);
+    if (sig_on) restored.signature_detect.assign(total, 0);
     for (std::size_t s = 0; s < num_slices; ++s) {
       if (!ck.slice_finalized[s]) continue;
       const std::size_t lo = s * slice;
@@ -98,6 +111,10 @@ Expected<CampaignResult> run_campaign(const gate::Netlist& nl,
         ck.detect_cycle[i] = old.detect_cycle[i];
         restored.detect_cycle[i] = old.detect_cycle[i];
         restored.finalized[i] = 1;
+        if (sig_on) {
+          ck.signature_detect[i] = old.signature_detect[i];
+          restored.signature_detect[i] = old.signature_detect[i];
+        }
       }
       ++res.resumed_slices;
     }
@@ -126,6 +143,7 @@ Expected<CampaignResult> run_campaign(const gate::Netlist& nl,
     fopt.engine = opt.engine;
     fopt.simd = opt.simd;
     fopt.passes = opt.passes;
+    fopt.signature = opt.signature;
     fopt.cancel = &token;
     if (opt.progress)
       fopt.progress = [&](std::size_t done, std::size_t) {
@@ -139,8 +157,11 @@ Expected<CampaignResult> run_campaign(const gate::Netlist& nl,
     // checkpoint mirrors only the finalized entries.
     if (auto merged = res.sim.merge(part, lo); !merged)
       return merged.error();
-    for (std::size_t i = lo; i < hi; ++i)
-      if (part.finalized[i - lo]) ck.detect_cycle[i] = part.detect_cycle[i - lo];
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (!part.finalized[i - lo]) continue;
+      ck.detect_cycle[i] = part.detect_cycle[i - lo];
+      if (sig_on) ck.signature_detect[i] = part.signature_detect[i - lo];
+    }
     if (!part.complete) {
       // Cancelled mid-slice: keep the partial verdicts in the returned
       // result but do not finalize the slice — the checkpoint only ever

@@ -62,6 +62,19 @@ struct CampaignOptions {
   /// protected, so verdicts are pass-configuration-independent.
   gate::PassOptions passes;
 
+  /// Design family the fault universe was built from
+  /// (rtl::DesignFamily as u32). Unlike engine/simd/passes this IS part
+  /// of the checkpoint audit: two families can in principle lower to
+  /// netlists whose structural fingerprints coincide, and verdict files
+  /// must never cross that line silently.
+  std::uint32_t family = 0;
+
+  /// Response compaction per slice (same contract as FaultSimOptions).
+  /// The MISR width and taps ARE part of the checkpoint audit —
+  /// signature verdicts depend on the polynomial — and the per-fault
+  /// signature verdicts ride in the checkpoint next to detect_cycle.
+  SignatureOptions signature;
+
   /// Faults per checkpoint slice; a checkpoint is written after each
   /// slice is finalized. Smaller = finer-grained resume, more writes.
   std::size_t checkpoint_every = 4096;

@@ -4,46 +4,21 @@
 #include <cstring>
 
 #include "common/atomic_file.hpp"
+#include "common/fingerprint.hpp"
 
 namespace fdbist::fault {
 
 namespace {
 
+using common::fnv1a;
+using common::fnv1a_value;
+using common::kFnvSeed;
+using common::put_bytes;
+using common::take_bytes;
+
 constexpr char kMagic[4] = {'F', 'D', 'B', 'C'};
-constexpr std::size_t kHeaderBytes = 64;
+constexpr std::size_t kHeaderBytes = 80;
 constexpr std::size_t kChecksumBytes = 8;
-
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-constexpr std::uint64_t kFnvSeed = 14695981039346656037ULL;
-
-template <typename T>
-std::uint64_t fnv1a_value(std::uint64_t h, const T& v) {
-  return fnv1a(h, &v, sizeof v);
-}
-
-/// Append the native byte representation of `v` to `out`.
-template <typename T>
-void put(std::vector<std::uint8_t>& out, const T& v) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  out.insert(out.end(), p, p + sizeof v);
-}
-
-/// Read a T at `offset`, advancing it. Caller guarantees bounds.
-template <typename T>
-T take(const std::vector<std::uint8_t>& in, std::size_t& offset) {
-  T v;
-  std::memcpy(&v, in.data() + offset, sizeof v);
-  offset += sizeof v;
-  return v;
-}
 
 Error io_error(const std::string& what, const std::string& path) {
   return Error{ErrorCode::Io, what + " " + path};
@@ -101,21 +76,29 @@ Expected<void> save_checkpoint(const std::string& path, const Checkpoint& ck) {
   FDBIST_REQUIRE(ck.slice_count() ==
                      (ck.fault_count() + ck.slice_size - 1) / ck.slice_size,
                  "slice bitmap does not cover the fault universe");
+  FDBIST_REQUIRE(ck.signature_detect.size() ==
+                     (ck.sig_width == 0 ? 0 : ck.fault_count()),
+                 "signature array must be empty or cover every fault");
 
   std::vector<std::uint8_t> buf;
   const std::size_t bitmap_bytes = (ck.slice_count() + 7) / 8;
   buf.reserve(kHeaderBytes + bitmap_bytes +
-              ck.fault_count() * sizeof(std::int32_t) + kChecksumBytes);
+              ck.fault_count() * sizeof(std::int32_t) +
+              ck.signature_detect.size() + kChecksumBytes);
 
   buf.insert(buf.end(), kMagic, kMagic + 4);
-  put(buf, kCheckpointVersion);
-  put(buf, ck.netlist_fp);
-  put(buf, ck.stimulus_fp);
-  put(buf, ck.faults_fp);
-  put(buf, std::uint64_t{ck.fault_count()});
-  put(buf, ck.stimulus_len);
-  put(buf, ck.slice_size);
-  put(buf, std::uint64_t{ck.slice_count()});
+  put_bytes(buf, kCheckpointVersion);
+  put_bytes(buf, ck.netlist_fp);
+  put_bytes(buf, ck.stimulus_fp);
+  put_bytes(buf, ck.faults_fp);
+  put_bytes(buf, std::uint64_t{ck.fault_count()});
+  put_bytes(buf, ck.stimulus_len);
+  put_bytes(buf, ck.slice_size);
+  put_bytes(buf, std::uint64_t{ck.slice_count()});
+  put_bytes(buf, ck.family);
+  put_bytes(buf, ck.sig_width);
+  put_bytes(buf, ck.sig_taps);
+  put_bytes(buf, std::uint32_t{0}); // reserved
 
   std::vector<std::uint8_t> bitmap(bitmap_bytes, 0);
   for (std::size_t s = 0; s < ck.slice_count(); ++s)
@@ -126,8 +109,10 @@ Expected<void> save_checkpoint(const std::string& path, const Checkpoint& ck) {
       reinterpret_cast<const std::uint8_t*>(ck.detect_cycle.data());
   buf.insert(buf.end(), cycles,
              cycles + ck.fault_count() * sizeof(std::int32_t));
+  buf.insert(buf.end(), ck.signature_detect.begin(),
+             ck.signature_detect.end());
 
-  put(buf, fnv1a(kFnvSeed, buf.data(), buf.size()));
+  put_bytes(buf, fnv1a(kFnvSeed, buf.data(), buf.size()));
 
   // tmp + fsync + rename + parent-dir fsync (common/atomic_file.hpp): a
   // SIGKILL at any point leaves either the old checkpoint or the new
@@ -159,35 +144,42 @@ Expected<Checkpoint> load_checkpoint(const std::string& path) {
     return corrupt("bad magic (not a fdbist checkpoint)");
 
   std::size_t off = 4;
-  const auto version = take<std::uint32_t>(buf, off);
+  const auto version = take_bytes<std::uint32_t>(buf, off);
   if (version != kCheckpointVersion)
     return corrupt("unsupported format version " + std::to_string(version) +
                    " (this build reads version " +
-                   std::to_string(kCheckpointVersion) + ")");
+                   std::to_string(kCheckpointVersion) +
+                   "; delete the file to restart the campaign)");
 
   Checkpoint ck;
-  ck.netlist_fp = take<std::uint64_t>(buf, off);
-  ck.stimulus_fp = take<std::uint64_t>(buf, off);
-  ck.faults_fp = take<std::uint64_t>(buf, off);
-  const auto fault_count = take<std::uint64_t>(buf, off);
-  ck.stimulus_len = take<std::uint64_t>(buf, off);
-  ck.slice_size = take<std::uint64_t>(buf, off);
-  const auto slice_count = take<std::uint64_t>(buf, off);
+  ck.netlist_fp = take_bytes<std::uint64_t>(buf, off);
+  ck.stimulus_fp = take_bytes<std::uint64_t>(buf, off);
+  ck.faults_fp = take_bytes<std::uint64_t>(buf, off);
+  const auto fault_count = take_bytes<std::uint64_t>(buf, off);
+  ck.stimulus_len = take_bytes<std::uint64_t>(buf, off);
+  ck.slice_size = take_bytes<std::uint64_t>(buf, off);
+  const auto slice_count = take_bytes<std::uint64_t>(buf, off);
+  ck.family = take_bytes<std::uint32_t>(buf, off);
+  ck.sig_width = take_bytes<std::uint32_t>(buf, off);
+  ck.sig_taps = take_bytes<std::uint32_t>(buf, off);
+  (void)take_bytes<std::uint32_t>(buf, off); // reserved
 
   if (ck.slice_size == 0 ||
       slice_count != (fault_count + ck.slice_size - 1) / ck.slice_size)
     return corrupt("inconsistent slice geometry");
   const std::size_t bitmap_bytes = (std::size_t(slice_count) + 7) / 8;
+  const std::size_t sig_bytes =
+      ck.sig_width == 0 ? 0 : std::size_t(fault_count);
   const std::size_t expected = kHeaderBytes + bitmap_bytes +
                                std::size_t(fault_count) * sizeof(std::int32_t) +
-                               kChecksumBytes;
+                               sig_bytes + kChecksumBytes;
   if (buf.size() != expected)
     return corrupt("truncated or oversized file (" +
                    std::to_string(buf.size()) + " bytes, expected " +
                    std::to_string(expected) + ")");
 
   std::size_t checksum_off = buf.size() - kChecksumBytes;
-  const std::uint64_t stored = take<std::uint64_t>(buf, checksum_off);
+  const std::uint64_t stored = take_bytes<std::uint64_t>(buf, checksum_off);
   if (fnv1a(kFnvSeed, buf.data(), buf.size() - kChecksumBytes) != stored)
     return corrupt("checksum mismatch");
 
@@ -199,6 +191,9 @@ Expected<Checkpoint> load_checkpoint(const std::string& path) {
   ck.detect_cycle.resize(std::size_t(fault_count));
   std::memcpy(ck.detect_cycle.data(), buf.data() + off,
               ck.detect_cycle.size() * sizeof(std::int32_t));
+  off += ck.detect_cycle.size() * sizeof(std::int32_t);
+  if (sig_bytes != 0)
+    ck.signature_detect.assign(buf.data() + off, buf.data() + off + sig_bytes);
   return ck;
 }
 

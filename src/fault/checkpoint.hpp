@@ -8,12 +8,18 @@
 // list), so a resumed run either continues bit-identically or is
 // refused with FingerprintMismatch.
 //
-// File layout, version 1 (native-endian; a checkpoint is a local resume
-// artifact, not an interchange format):
+// File layout, version 2 (native-endian; a checkpoint is a local resume
+// artifact, not an interchange format). Version 2 extends the header
+// with the design family and the signature-compaction configuration —
+// signature verdicts depend on both, so a resume under a different
+// family or MISR polynomial must be refused — and appends the per-fault
+// signature verdicts when compaction was on. Version-1 files predate
+// the family tag and are refused (CorruptCheckpoint): without the tag
+// there is no way to audit what family wrote them.
 //
 //   offset size  field
 //   0      4     magic "FDBC"
-//   4      4     u32  format version (= 1)
+//   4      4     u32  format version (= 2)
 //   8      8     u64  netlist fingerprint   (FNV-1a over gates/regs/io)
 //   16     8     u64  stimulus fingerprint  (FNV-1a over input words)
 //   24     8     u64  fault-list fingerprint (FNV-1a over fault triples)
@@ -21,8 +27,13 @@
 //   40     8     u64  stimulus length (vectors)
 //   48     8     u64  slice size (faults per checkpoint slice)
 //   56     8     u64  slice count (= ceil(fault count / slice size))
-//   64     B     finalized-slice bitmap, B = (slice count + 7) / 8
-//   64+B   4*F   i32  detect_cycle[fault count]
+//   64     4     u32  design family (rtl::DesignFamily)
+//   68     4     u32  signature MISR width (0 = no compaction)
+//   72     4     u32  signature feedback taps
+//   76     4     u32  reserved (0)
+//   80     B     finalized-slice bitmap, B = (slice count + 7) / 8
+//   80+B   4*F   i32  detect_cycle[fault count]
+//   ...    F     u8   signature_detect[fault count]  (width > 0 only)
 //   end-8  8     u64  FNV-1a checksum of every preceding byte
 //
 // Saves are atomic and durable (write to "<path>.tmp", fsync, rename,
@@ -45,7 +56,7 @@
 
 namespace fdbist::fault {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 struct Checkpoint {
   std::uint64_t netlist_fp = 0;
@@ -53,11 +64,21 @@ struct Checkpoint {
   std::uint64_t faults_fp = 0;
   std::uint64_t stimulus_len = 0;
   std::uint64_t slice_size = 0;
+  /// Design family the universe was built from (rtl::DesignFamily as
+  /// u32); audited on resume like the fingerprints.
+  std::uint32_t family = 0;
+  /// Signature-compaction configuration (0/0 = word compare only).
+  /// Signature verdicts depend on the polynomial, so these are part of
+  /// the resume audit too.
+  std::uint32_t sig_width = 0;
+  std::uint32_t sig_taps = 0;
   /// One flag per slice (0/1), stored as a bitmap on disk.
   std::vector<std::uint8_t> slice_finalized;
   /// Per-fault first-detection cycle; only entries inside finalized
   /// slices are meaningful.
   std::vector<std::int32_t> detect_cycle;
+  /// Per-fault signature verdicts; sized fault_count() iff sig_width>0.
+  std::vector<std::uint8_t> signature_detect;
 
   std::size_t fault_count() const { return detect_cycle.size(); }
   std::size_t slice_count() const { return slice_finalized.size(); }

@@ -1,5 +1,7 @@
 #include "fault/kernel.hpp"
 
+#include <algorithm>
+
 #include "fault/kernel_impl.hpp"
 
 namespace fdbist::fault::detail {
@@ -94,6 +96,35 @@ void append_survivors(std::span<const std::size_t> batch,
     const std::size_t lane = k + 1;
     if (!((detected_words[lane >> 6] >> (lane & 63)) & 1u))
       survivors.push_back(batch[k]);
+  }
+}
+
+void collect_signature_nets(const gate::Netlist& nl,
+                            const SignatureOptions& sig,
+                            const gate::CompiledSchedule::Cone* cone,
+                            std::vector<gate::NetId>& sig_nets) {
+  const auto& group = nl.outputs().front();
+  const std::size_t out_w = group.size();
+  const std::size_t width = std::size_t(sig.width);
+  const std::size_t folds = (out_w + width - 1) / width;
+  sig_nets.assign(width * folds, gate::kNoNet);
+  for (std::size_t o = 0; o < out_w; ++o) {
+    const gate::NetId net = group[o];
+    if (cone != nullptr &&
+        std::find(cone->outputs.begin(), cone->outputs.end(), net) ==
+            cone->outputs.end())
+      continue;
+    sig_nets[(o % width) * folds + o / width] = net;
+  }
+}
+
+void mark_signature_detects(std::span<const std::size_t> batch,
+                            const std::uint64_t* nonzero_words,
+                            std::uint8_t* signature_detect) {
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const std::size_t lane = k + 1;
+    if ((nonzero_words[lane >> 6] >> (lane & 63)) & 1u)
+      signature_detect[batch[k]] = 1;
   }
 }
 

@@ -51,14 +51,20 @@ public:
   /// cone-restricted compiled sweep, null the full-netlist reference
   /// sweep. `full_sweep_gates` is the logic-gate count of the
   /// *unoptimized* netlist, so gate_eval_savings stays comparable
-  /// across pass configurations.
+  /// across pass configurations. When `sig.enabled()` (and
+  /// `signature_detect` non-null), the batch also runs a bit-sliced
+  /// difference MISR per lane — early exit is suppressed so every lane
+  /// absorbs the full budget — and sets signature_detect[i] for faults
+  /// whose final signature differs from the good machine's.
   virtual void run_batch(std::span<const Fault> faults,
                          std::span<const std::int64_t> stimulus,
                          std::span<const std::size_t> batch,
                          std::size_t budget, const gate::GoodTrace* trace,
                          std::uint64_t full_sweep_gates,
                          std::int32_t* detect_cycle,
-                         std::vector<std::size_t>& survivors) = 0;
+                         std::vector<std::size_t>& survivors,
+                         const SignatureOptions& sig,
+                         std::uint8_t* signature_detect) = 0;
 
   FaultSimStats stats;
 };
@@ -100,6 +106,27 @@ void collect_batch_sites(std::span<const Fault> faults,
 void append_survivors(std::span<const std::size_t> batch,
                       const std::uint64_t* detected_words,
                       std::vector<std::size_t>& survivors);
+
+/// The output-to-MISR wiring: every output bit o is folded (XORed) into
+/// MISR bit o mod width, so a MISR narrower than the output word still
+/// observes every response bit — without folding, a fault visible only
+/// in the truncated upper bits would alias unconditionally, and the
+/// measured aliasing could never honor the 2 + 64*N*2^-w expectation.
+/// The result is laid out as width rows of ceil(out_w/width) fold
+/// entries: sig_nets[b*folds + j] = output bit b + j*width, or
+/// gate::kNoNet where no such bit exists. With a cone (compiled
+/// engine), out-of-cone output nets provably hold the good value —
+/// their difference is identically zero — and also map to gate::kNoNet.
+void collect_signature_nets(const gate::Netlist& nl,
+                            const SignatureOptions& sig,
+                            const gate::CompiledSchedule::Cone* cone,
+                            std::vector<gate::NetId>& sig_nets);
+
+/// Scan nonzero difference-signature lane words: batch member k whose
+/// lane k+1 is set gets signature_detect[batch[k]] = 1.
+void mark_signature_detects(std::span<const std::size_t> batch,
+                            const std::uint64_t* nonzero_words,
+                            std::uint8_t* signature_detect);
 
 // Defined in the per-ISA TUs; null accessors exist only behind the
 // FDBIST_KERNEL_* macros CMake sets when the flags are available.

@@ -27,7 +27,9 @@ public:
                  std::span<const std::size_t> batch, std::size_t budget,
                  const gate::GoodTrace* trace,
                  std::uint64_t full_sweep_gates, std::int32_t* detect_cycle,
-                 std::vector<std::size_t>& survivors) override {
+                 std::vector<std::size_t>& survivors,
+                 const SignatureOptions& sig,
+                 std::uint8_t* signature_detect) override {
     sim_.reset();
     sim_.clear_faults();
     // Faults may only land in the lanes this batch scans below.
@@ -48,6 +50,17 @@ public:
       cone_gates = cone_.gates.size();
     }
 
+    // Difference-MISR state, one bit-sliced register slot per MISR bit.
+    // Lane 0 carries the good machine (no fault masks it), so a net's
+    // lane-0 bit broadcast is the good value under both engines and the
+    // XOR against it is the per-lane difference stream.
+    const bool sig_on = sig.enabled() && signature_detect != nullptr;
+    if (sig_on) {
+      collect_signature_nets(sim_.netlist(), sig,
+                             trace != nullptr ? &cone_ : nullptr, sig_nets_);
+      for (int b = 0; b < sig.width; ++b) sig_state_[b] = W::zero();
+    }
+
     W detected = W::zero();
     std::size_t found = 0;
     std::size_t cycles = 0;
@@ -61,6 +74,7 @@ public:
         sim_.step_broadcast(stimulus[t]);
         newly = sim_.output_mismatch_wide() & live & ~detected;
       }
+      if (sig_on) absorb_difference(sig);
       ++cycles;
       if (newly.none()) continue;
       detected |= newly;
@@ -74,9 +88,17 @@ public:
           ++found;
         }
       }
-      if (found == batch.size()) break;
+      // Early exit would cut the MISR's absorption short, so signature
+      // batches always run the full budget.
+      if (!sig_on && found == batch.size()) break;
     }
     append_survivors(batch, detected.w, survivors);
+    if (sig_on) {
+      W nonzero = W::zero();
+      for (int b = 0; b < sig.width; ++b) nonzero |= sig_state_[b];
+      nonzero &= live;
+      mark_signature_detects(batch, nonzero.w, signature_detect);
+    }
 
     stats.batches += 1;
     stats.cycles_simulated += cycles;
@@ -90,10 +112,39 @@ public:
   }
 
 private:
+  /// One Galois MISR step of the difference register (bist/misr.hpp
+  /// semantics, bit-sliced across lanes): shift, feed the carry back
+  /// into the tap positions, then inject each output bit's XOR against
+  /// the good machine. By GF(2) linearity the register holds exactly
+  /// sig_faulty ^ sig_good per lane, so the seed never matters.
+  void absorb_difference(const SignatureOptions& sig) {
+    const int deg = sig.width;
+    const W carry = sig_state_[deg - 1];
+    for (int b = deg - 1; b > 0; --b) sig_state_[b] = sig_state_[b - 1];
+    sig_state_[0] = W::zero();
+    std::uint32_t terms = sig.taps;
+    while (terms != 0) {
+      const int b = std::countr_zero(terms);
+      terms &= terms - 1;
+      sig_state_[b] ^= carry;
+    }
+    const std::size_t folds = sig_nets_.size() / std::size_t(deg);
+    for (int b = 0; b < deg; ++b) {
+      for (std::size_t j = 0; j < folds; ++j) {
+        const gate::NetId net = sig_nets_[std::size_t(b) * folds + j];
+        if (net == gate::kNoNet) continue; // provably equal to good
+        const W& v = sim_.net_wide(net);
+        sig_state_[b] ^= v ^ W::fill((v.word(0) & 1u) != 0);
+      }
+    }
+  }
+
   gate::WordSimT<W> sim_;
   gate::CompiledSchedule::ConeWorkspace ws_;
   gate::CompiledSchedule::Cone cone_;
   std::vector<gate::NetId> sites_;
+  std::vector<gate::NetId> sig_nets_;
+  W sig_state_[31] = {};
 };
 
 template <int Words> class BatchKernelT final : public BatchKernel {

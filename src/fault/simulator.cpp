@@ -42,6 +42,19 @@ std::vector<double> FaultSimResult::coverage_at(
   return out;
 }
 
+std::size_t FaultSimResult::signature_detected() const {
+  std::size_t n = 0;
+  for (const std::uint8_t s : signature_detect) n += s;
+  return n;
+}
+
+std::size_t FaultSimResult::aliased() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < signature_detect.size(); ++i)
+    if (finalized[i] && detect_cycle[i] >= 0 && !signature_detect[i]) ++n;
+  return n;
+}
+
 Expected<void> FaultSimResult::merge(const FaultSimResult& part,
                                      std::size_t offset) {
   if (offset > total_faults || part.total_faults > total_faults - offset)
@@ -60,6 +73,17 @@ Expected<void> FaultSimResult::merge(const FaultSimResult& part,
                      part.detect_cycle.size() == part.total_faults &&
                      part.finalized.size() == part.total_faults,
                  "merge on a result with unsized verdict arrays");
+  if (signature_detect.empty() != part.signature_detect.empty())
+    return Error{ErrorCode::InvalidArgument,
+                 signature_detect.empty()
+                     ? "merge of a signature-compacted partial into a "
+                       "word-compare result"
+                     : "merge of a word-compare partial into a "
+                       "signature-compacted result"};
+  FDBIST_REQUIRE(part.signature_detect.empty() ||
+                     (signature_detect.size() == total_faults &&
+                      part.signature_detect.size() == part.total_faults),
+                 "merge on a result with unsized signature arrays");
 
   // Audit before mutating: an overlap must leave this result untouched.
   for (std::size_t i = 0; i < part.total_faults; ++i)
@@ -72,6 +96,8 @@ Expected<void> FaultSimResult::merge(const FaultSimResult& part,
     if (!part.finalized[i]) continue;
     detect_cycle[offset + i] = part.detect_cycle[i];
     finalized[offset + i] = 1;
+    if (!part.signature_detect.empty())
+      signature_detect[offset + i] = part.signature_detect[i];
     if (part.detect_cycle[i] >= 0) ++detected;
   }
   stats.merge(part.stats);
@@ -122,11 +148,24 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
                      std::size_t(std::numeric_limits<std::int32_t>::max()),
                  "stimulus too long for the int32 detect_cycle encoding");
 
+  const bool sig_on = opt.signature.enabled();
+  if (sig_on) {
+    FDBIST_REQUIRE(opt.signature.width >= 2 && opt.signature.width <= 31,
+                   "signature width out of range (2..31)");
+    FDBIST_REQUIRE(opt.signature.taps != 0 &&
+                       (opt.signature.taps >> opt.signature.width) == 0,
+                   "signature feedback taps empty or beyond the register "
+                   "width");
+    FDBIST_REQUIRE(nl.outputs().size() == 1,
+                   "signature compaction absorbs exactly one output group");
+  }
+
   FaultSimResult result;
   result.total_faults = faults.size();
   result.vectors = stimulus.size();
   result.detect_cycle.assign(faults.size(), -1);
   result.finalized.assign(faults.size(), 0);
+  if (sig_on) result.signature_detect.assign(faults.size(), 0);
 
   const common::SimdBackend simd = detail::resolve_simd_backend(opt.simd);
   const detail::BatchKernel& kernel = detail::batch_kernel(simd);
@@ -236,10 +275,11 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
           const std::size_t base = b * fpb;
           const std::size_t count = std::min(fpb, indices.size() - base);
           std::vector<std::size_t>& survivors = batch_survivors[b];
-          pool[worker]->run_batch(sim_faults, stimulus,
-                                  {indices.data() + base, count}, budget,
-                                  trace_ptr, full_sweep_gates,
-                                  result.detect_cycle.data(), survivors);
+          pool[worker]->run_batch(
+              sim_faults, stimulus, {indices.data() + base, count}, budget,
+              trace_ptr, full_sweep_gates, result.detect_cycle.data(),
+              survivors, opt.signature,
+              sig_on ? result.signature_detect.data() : nullptr);
           batch_ran[b] = 1;
           report_finalized(final_pass ? count : count - survivors.size());
         });
@@ -271,10 +311,13 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
 
   // Stage 1: a short budget weeds out the easily detected majority so
   // only genuinely hard faults pay for long batches. Stage 2 finishes
-  // the survivors on the full stimulus.
+  // the survivors on the full stimulus. Signature mode takes one
+  // full-budget pass instead: the signature is defined over the whole
+  // stimulus, so every batch must absorb every vector.
   std::vector<std::size_t> all(faults.size());
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-  const std::size_t stage1 = std::min<std::size_t>(128, stimulus.size());
+  const std::size_t stage1 =
+      sig_on ? stimulus.size() : std::min<std::size_t>(128, stimulus.size());
   const bool stage1_is_final = stage1 == stimulus.size();
   auto survivors = run_pass(all, stage1, stage1_is_final);
   if (!stage1_is_final && !survivors.empty() && !cancelled())

@@ -140,6 +140,27 @@ struct FaultSimStats {
   }
 };
 
+/// Opt-in response compaction for simulate_faults. When enabled, every
+/// lane drives a Galois MISR (bist/misr.hpp semantics: shift, feedback,
+/// then inject the low `width` bits of the sign-extended output word)
+/// and a fault's signature verdict is whether its final signature
+/// differs from the good machine's. The kernel exploits MISR linearity
+/// over GF(2): the signatures differ iff the MISR of the per-cycle
+/// XOR-difference stream, run from the zero state, ends nonzero — so
+/// one bit-sliced difference register per lane suffices and the seed
+/// cancels out entirely.
+struct SignatureOptions {
+  /// MISR width (2..31); 0 disables compaction.
+  int width = 0;
+  /// Low feedback terms of the characteristic polynomial (the
+  /// tpg::Polynomial::low_terms encoding). Callers normally fill this
+  /// from tpg::default_polynomial(width); kept as a raw word here so
+  /// the fault layer does not depend on tpg.
+  std::uint32_t taps = 0;
+
+  bool enabled() const { return width != 0; }
+};
+
 struct FaultSimOptions {
   /// Worker threads the fault batches are sharded across: 0 = one
   /// worker per hardware thread, 1 = the single-threaded legacy path
@@ -184,6 +205,15 @@ struct FaultSimOptions {
   /// reference). Fault sites are protected, so verdicts are
   /// bit-identical with any subset enabled; see gate/passes/pass.hpp.
   gate::PassOptions passes;
+
+  /// Response compaction. When enabled the run takes a single
+  /// full-budget pass (the signature is defined over the whole stimulus,
+  /// so neither the two-stage weed-out nor per-batch early exit may
+  /// shorten absorption) and FaultSimResult::signature_detect carries
+  /// the per-fault signature verdicts next to the word-compare ground
+  /// truth in detect_cycle. Both verdict sets stay bit-identical across
+  /// engines, SIMD widths and thread counts.
+  SignatureOptions signature;
 };
 
 struct FaultSimResult {
@@ -197,6 +227,12 @@ struct FaultSimResult {
   /// Per-fault: 1 once the engine reached a definitive verdict (detected,
   /// or survived the full stimulus). All-ones unless cancelled.
   std::vector<std::uint8_t> finalized;
+  /// Per-fault: 1 iff the fault's final MISR signature differs from the
+  /// good machine's. Sized total_faults when the run compacted
+  /// responses (FaultSimOptions::signature), empty otherwise. A fault
+  /// with detect_cycle >= 0 but signature_detect == 0 aliased in the
+  /// compactor.
+  std::vector<std::uint8_t> signature_detect;
   /// False iff the run was cut short by the cancellation token — some
   /// faults then carry no verdict and `missed()` overstates misses.
   bool complete = true;
@@ -223,7 +259,10 @@ struct FaultSimResult {
   ///   MergeOverlap     a fault both sides already finalized — even in
   ///                    agreement, a double-claimed fault means slice
   ///                    accounting went wrong somewhere
-  ///   InvalidArgument  window out of bounds, or vector-count mismatch
+  ///   InvalidArgument  window out of bounds, vector-count mismatch, or
+  ///                    one side ran with signature compaction and the
+  ///                    other without (the verdict sets are not
+  ///                    comparable)
   Expected<void> merge(const FaultSimResult& part, std::size_t offset);
 
   /// Gap audit after the last merge: every fault must carry a verdict.
@@ -232,6 +271,11 @@ struct FaultSimResult {
   Expected<void> require_complete();
 
   std::size_t missed() const { return total_faults - detected; }
+  /// Signature-mode accessors (zero when the run did not compact).
+  /// `aliased()` counts faults the word compare detects but the
+  /// signature misses — the measured (not bounded) aliasing count.
+  std::size_t signature_detected() const;
+  std::size_t aliased() const;
   double coverage() const {
     return total_faults == 0
                ? 1.0

@@ -24,6 +24,13 @@ struct Lowerer {
   fx::Format acc_fmt{2, 0};
   NetId const0 = kNoNet;
   NetId const1 = kNoNet;
+  // Forward-bound (feedback) registers: flops are emitted during the
+  // sweep with open D pins, then patched once the driver is lowered.
+  struct PendingForwardReg {
+    rtl::NodeId node;
+    std::size_t reg_base; ///< first entry in nl.registers()
+  };
+  std::vector<PendingForwardReg> forward_regs;
   // Structural-hashing table: (op, a, b) -> existing net. Shares the
   // duplicated sign-extension logic that CSD shift-add trees otherwise
   // replicate per bit position.
@@ -45,6 +52,10 @@ struct Lowerer {
 
   void configure_carry_save() {
     if (opt.carry_save_accumulators.empty()) return;
+    for (const rtl::NodeId r : g.registers())
+      FDBIST_REQUIRE(g.node(r).a < r,
+                     "carry-save lowering does not support feedback "
+                     "(forward-bound) registers");
     // All carry-save stages share one (widest) accumulator format so
     // redundant pairs never need component-wise sign extension, which
     // would be incorrect.
@@ -257,6 +268,26 @@ struct Lowerer {
   }
 
   void lower_reg(rtl::NodeId id, const rtl::Node& nd) {
+    if (nd.a >= id) {
+      // Feedback register: the driver is lowered later, so every bit
+      // gets a real flop now (no const0-state elision — the driver is
+      // unknown) and the D pins are patched after the sweep.
+      FDBIST_ASSERT(!csa_reg[std::size_t(id)],
+                    "carry-save chains cannot contain feedback registers");
+      const std::size_t base = nl.registers().size();
+      std::vector<NetId> q(std::size_t(nd.fmt.width));
+      for (int j = 0; j < nd.fmt.width; ++j) {
+        const NetId qn = nl.add_gate(
+            GateOp::RegOut, kNoNet, kNoNet,
+            {id, static_cast<std::int16_t>(j), CellRole::None});
+        nl.registers().push_back({kNoNet, qn});
+        q[std::size_t(j)] = qn;
+      }
+      bits[std::size_t(id)] = std::move(q);
+      forward_regs.push_back({id, base});
+      return;
+    }
+
     auto make_reg_vector = [&](const std::vector<NetId>& d_bits) {
       std::vector<NetId> q(d_bits.size());
       for (std::size_t j = 0; j < d_bits.size(); ++j) {
@@ -353,6 +384,12 @@ struct Lowerer {
         nl.outputs().push_back(bits[i]);
         break;
       }
+    }
+    for (const PendingForwardReg& fr : forward_regs) {
+      const rtl::Node& nd = g.node(fr.node);
+      for (int j = 0; j < nd.fmt.width; ++j)
+        nl.registers()[fr.reg_base + std::size_t(j)].d =
+            aligned_bit(nd.a, nd.fmt, j);
     }
     nl.validate();
   }

@@ -1,0 +1,177 @@
+#include "rtl/builder.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace fdbist::rtl {
+
+const char* family_name(DesignFamily f) {
+  switch (f) {
+  case DesignFamily::Fir: return "fir";
+  case DesignFamily::IirBiquad: return "iir-biquad";
+  case DesignFamily::PolyphaseDecimator: return "polyphase-decimator";
+  }
+  return "?";
+}
+
+bool parse_design_family(const char* s, DesignFamily& out) {
+  if (s == nullptr) return false;
+  if (std::strcmp(s, "fir") == 0) {
+    out = DesignFamily::Fir;
+    return true;
+  }
+  if (std::strcmp(s, "iir-biquad") == 0 || std::strcmp(s, "iir") == 0) {
+    out = DesignFamily::IirBiquad;
+    return true;
+  }
+  if (std::strcmp(s, "polyphase-decimator") == 0 ||
+      std::strcmp(s, "decimator") == 0) {
+    out = DesignFamily::PolyphaseDecimator;
+    return true;
+  }
+  return false;
+}
+
+DesignStats FilterDesign::stats() const {
+  DesignStats s;
+  s.adders = graph.adder_count();
+  s.registers = graph.register_count();
+  s.width_in = graph.node(input).fmt.width;
+  s.width_coef = coefs.empty() ? 0 : coefs.front().fmt.width;
+  s.width_out = graph.node(output).fmt.width;
+  s.nodes = graph.size();
+  return s;
+}
+
+std::vector<double> FilterDesign::quantized_impulse_response() const {
+  if (family == DesignFamily::Fir) {
+    std::vector<double> h;
+    h.reserve(coefs.size());
+    for (const auto& c : coefs) h.push_back(c.real());
+    return h;
+  }
+  // Recursive / multirate families: the implemented response is what
+  // the linear model observed at the output.
+  FDBIST_REQUIRE(output != kNoNode && !linear.empty(),
+                 "design has no linear analysis to derive a response from");
+  return linear[static_cast<std::size_t>(output)].impulse;
+}
+
+NodeId make_term(BuilderContext& ctx, NodeId source, int k,
+                 const std::string& label) {
+  Graph& g = *ctx.g;
+  NodeId t = source;
+  if (k != 0) t = g.scale(t, k, label + ".sh" + std::to_string(k));
+  const fx::Format tf = g.node(t).fmt;
+  if (tf.frac > ctx.product_frac) {
+    const fx::Format target{kProvisionalWidth, ctx.product_frac};
+    t = g.resize(t, target, label + ".trunc");
+  }
+  return t;
+}
+
+Product make_product(BuilderContext& ctx, NodeId source,
+                     const csd::Coefficient& c, const std::string& label,
+                     int scale_pow2) {
+  Graph& g = *ctx.g;
+  if (c.terms.empty()) return {};
+
+  // Order terms by descending magnitude; the leading term anchors the
+  // chain. If no positive digit exists, build |c|*x and mark it negated.
+  std::vector<csd::Term> terms = c.terms;
+  std::sort(terms.begin(), terms.end(),
+            [](const csd::Term& a, const csd::Term& b) {
+              return a.shift > b.shift;
+            });
+  const bool all_negative =
+      std::none_of(terms.begin(), terms.end(),
+                   [](const csd::Term& t) { return t.sign > 0; });
+  if (!all_negative) {
+    // Put a positive term first so the chain starts with a plain value.
+    const auto it = std::find_if(terms.begin(), terms.end(),
+                                 [](const csd::Term& t) { return t.sign > 0; });
+    std::rotate(terms.begin(), it, it + 1);
+  }
+  const int flip = all_negative ? -1 : 1;
+
+  const int msb_shift = ctx.coef_width - 1;
+  NodeId acc = kNoNode;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    const int k = msb_shift - terms[i].shift - scale_pow2;
+    FDBIST_ASSERT(k + scale_pow2 >= 0,
+                  "CSD term exceeds coefficient MSB weight");
+    const NodeId t = make_term(ctx, source, k, label + ".t" + std::to_string(i));
+    if (acc == kNoNode) {
+      acc = t;
+      continue;
+    }
+    const int frac = std::max(g.node(acc).fmt.frac, g.node(t).fmt.frac);
+    const fx::Format fmt{kProvisionalWidth, frac};
+    const std::string nm = label + ".csd" + std::to_string(i);
+    acc = (terms[i].sign * flip > 0) ? g.add(acc, t, fmt, nm)
+                                     : g.sub(acc, t, fmt, nm);
+  }
+  return {acc, all_negative};
+}
+
+NodeId build_tap_cascade(BuilderContext& ctx, NodeId source,
+                         const std::vector<csd::Coefficient>& coefs,
+                         const std::string& prefix,
+                         std::vector<NodeId>& taps,
+                         std::vector<NodeId>& structural, NodeId& zero) {
+  Graph& g = *ctx.g;
+  const std::size_t n = coefs.size();
+  const std::size_t tap_base = taps.size();
+  taps.resize(tap_base + n, kNoNode);
+
+  // Tap n-1 (input side) has no incoming partial sum.
+  NodeId w_next = kNoNode; // w_{k+1}
+  for (std::size_t rk = 0; rk < n; ++rk) {
+    const std::size_t k = n - 1 - rk;
+    const std::string label = prefix + std::to_string(k);
+    const Product p = make_product(ctx, source, coefs[k], label);
+
+    NodeId w = kNoNode;
+    if (w_next == kNoNode) {
+      // First (input-side) tap: w = c_k * x.
+      if (p.node == kNoNode) {
+        if (zero == kNoNode)
+          zero = g.constant(0, fx::Format{2, ctx.product_frac}, "zero");
+        w = zero;
+      } else if (p.negate) {
+        if (zero == kNoNode)
+          zero = g.constant(0, fx::Format{2, g.node(p.node).fmt.frac},
+                            "zero");
+        // The zero constant is shared across cascades and may carry a
+        // different frac than this product; the Sub takes the max like
+        // any other adder.
+        const int frac = std::max(g.node(zero).fmt.frac,
+                                  g.node(p.node).fmt.frac);
+        const fx::Format fmt{kProvisionalWidth, frac};
+        w = g.sub(zero, p.node, fmt, label + ".neg");
+        structural.push_back(w);
+      } else {
+        w = p.node;
+      }
+    } else {
+      const NodeId delayed = g.reg(w_next, label + ".z");
+      if (p.node == kNoNode) {
+        w = delayed;
+      } else {
+        const int frac = std::max(g.node(delayed).fmt.frac,
+                                  g.node(p.node).fmt.frac);
+        const fx::Format fmt{kProvisionalWidth, frac};
+        w = p.negate ? g.sub(delayed, p.node, fmt, label + ".acc")
+                     : g.add(delayed, p.node, fmt, label + ".acc");
+        structural.push_back(w);
+      }
+    }
+    taps[tap_base + k] = w;
+    w_next = w;
+  }
+  return w_next;
+}
+
+} // namespace fdbist::rtl

@@ -1,110 +1,11 @@
 #include "rtl/fir_builder.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
 #include "rtl/scaling.hpp"
 
 namespace fdbist::rtl {
-
-namespace {
-
-constexpr int kProvisionalWidth = 48; // shrunk later by assign_widths
-
-// A constant-multiplication result: the node computing |sum| and whether
-// the true product is its negation (used when every CSD digit is
-// negative, so the structural combiner absorbs the sign via Sub).
-struct Product {
-  NodeId node = kNoNode;
-  bool negate = false;
-};
-
-struct BuildContext {
-  Graph* g = nullptr;
-  const FirBuilderOptions* opt = nullptr;
-  NodeId x = kNoNode; ///< registered input feeding every tap
-};
-
-// Scale x by 2^-k and, if that creates more fractional bits than the
-// datapath keeps, truncate to product_frac.
-NodeId make_term(BuildContext& ctx, int k, const std::string& label) {
-  Graph& g = *ctx.g;
-  NodeId t = ctx.x;
-  if (k != 0) t = g.scale(t, k, label + ".sh" + std::to_string(k));
-  const fx::Format tf = g.node(t).fmt;
-  if (tf.frac > ctx.opt->product_frac) {
-    const fx::Format target{kProvisionalWidth, ctx.opt->product_frac};
-    t = g.resize(t, target, label + ".trunc");
-  }
-  return t;
-}
-
-// Build the CSD shift-and-add structure computing c * x (possibly as the
-// negation of the generated node; see Product::negate).
-Product make_product(BuildContext& ctx, const csd::Coefficient& c,
-                     const std::string& label) {
-  Graph& g = *ctx.g;
-  if (c.terms.empty()) return {};
-
-  // Order terms by descending magnitude; the leading term anchors the
-  // chain. If no positive digit exists, build |c|*x and mark it negated.
-  std::vector<csd::Term> terms = c.terms;
-  std::sort(terms.begin(), terms.end(),
-            [](const csd::Term& a, const csd::Term& b) {
-              return a.shift > b.shift;
-            });
-  const bool all_negative =
-      std::none_of(terms.begin(), terms.end(),
-                   [](const csd::Term& t) { return t.sign > 0; });
-  if (!all_negative) {
-    // Put a positive term first so the chain starts with a plain value.
-    const auto it = std::find_if(terms.begin(), terms.end(),
-                                 [](const csd::Term& t) { return t.sign > 0; });
-    std::rotate(terms.begin(), it, it + 1);
-  }
-  const int flip = all_negative ? -1 : 1;
-
-  const int msb_shift = ctx.opt->coef_width - 1;
-  NodeId acc = kNoNode;
-  for (std::size_t i = 0; i < terms.size(); ++i) {
-    const int k = msb_shift - terms[i].shift;
-    FDBIST_ASSERT(k >= 0, "CSD term exceeds coefficient MSB weight");
-    const NodeId t =
-        make_term(ctx, k, label + ".t" + std::to_string(i));
-    if (acc == kNoNode) {
-      acc = t;
-      continue;
-    }
-    const int frac =
-        std::max(g.node(acc).fmt.frac, g.node(t).fmt.frac);
-    const fx::Format fmt{kProvisionalWidth, frac};
-    const std::string nm = label + ".csd" + std::to_string(i);
-    acc = (terms[i].sign * flip > 0) ? g.add(acc, t, fmt, nm)
-                                     : g.sub(acc, t, fmt, nm);
-  }
-  return {acc, all_negative};
-}
-
-} // namespace
-
-DesignStats FilterDesign::stats() const {
-  DesignStats s;
-  s.adders = graph.adder_count();
-  s.registers = graph.register_count();
-  s.width_in = graph.node(input).fmt.width;
-  s.width_coef = coefs.empty() ? 0 : coefs.front().fmt.width;
-  s.width_out = graph.node(output).fmt.width;
-  s.nodes = graph.size();
-  return s;
-}
-
-std::vector<double> FilterDesign::quantized_impulse_response() const {
-  std::vector<double> h;
-  h.reserve(coefs.size());
-  for (const auto& c : coefs) h.push_back(c.real());
-  return h;
-}
 
 FilterDesign build_fir(const std::vector<double>& coefficients,
                        const FirBuilderOptions& opt, std::string name) {
@@ -120,67 +21,27 @@ FilterDesign build_fir(const std::vector<double>& coefficients,
 
   FilterDesign d;
   d.name = std::move(name);
+  d.family = DesignFamily::Fir;
   csd::QuantizeOptions qopt;
   qopt.width = opt.coef_width;
   qopt.max_digits = opt.max_csd_digits;
   d.coefs = csd::quantize_all(coefficients, qopt);
 
   Graph& g = d.graph;
-  BuildContext ctx{&g, &opt, kNoNode};
+  BuilderContext ctx{&g, opt.coef_width, opt.product_frac};
 
   d.input = g.input(fx::Format::unit(opt.input_width), "x");
-  ctx.x = opt.input_register ? g.reg(d.input, "x.reg") : d.input;
-
-  const std::size_t n = d.coefs.size();
-  d.tap_accumulators.assign(n, kNoNode);
+  const NodeId x = opt.input_register ? g.reg(d.input, "x.reg") : d.input;
 
   // Shared zero constant for the rare all-negative-last-tap case.
   NodeId zero = kNoNode;
-
-  // Tap n-1 (input side) has no incoming partial sum.
-  NodeId w_next = kNoNode; // w_{k+1}
-  for (std::size_t rk = 0; rk < n; ++rk) {
-    const std::size_t k = n - 1 - rk;
-    const std::string label = "tap" + std::to_string(k);
-    const Product p = make_product(ctx, d.coefs[k], label);
-
-    NodeId w = kNoNode;
-    if (w_next == kNoNode) {
-      // First (input-side) tap: w = c_k * x.
-      if (p.node == kNoNode) {
-        if (zero == kNoNode)
-          zero = g.constant(0, fx::Format{2, opt.product_frac}, "zero");
-        w = zero;
-      } else if (p.negate) {
-        if (zero == kNoNode)
-          zero = g.constant(0, fx::Format{2, g.node(p.node).fmt.frac},
-                            "zero");
-        const fx::Format fmt{kProvisionalWidth, g.node(p.node).fmt.frac};
-        w = g.sub(zero, p.node, fmt, label + ".neg");
-        d.structural_adders.push_back(w);
-      } else {
-        w = p.node;
-      }
-    } else {
-      const NodeId delayed = g.reg(w_next, label + ".z");
-      if (p.node == kNoNode) {
-        w = delayed;
-      } else {
-        const int frac = std::max(g.node(delayed).fmt.frac,
-                                  g.node(p.node).fmt.frac);
-        const fx::Format fmt{kProvisionalWidth, frac};
-        w = p.negate ? g.sub(delayed, p.node, fmt, label + ".acc")
-                     : g.add(delayed, p.node, fmt, label + ".acc");
-        d.structural_adders.push_back(w);
-      }
-    }
-    d.tap_accumulators[k] = w;
-    w_next = w;
-  }
+  const NodeId w0 = build_tap_cascade(ctx, x, d.coefs, "tap",
+                                      d.tap_accumulators,
+                                      d.structural_adders, zero);
 
   // Output stage: resize the final accumulator to the output format.
   const fx::Format out_fmt = fx::Format::unit(opt.output_width);
-  const NodeId y = g.resize(w_next, out_fmt, "y.resize");
+  const NodeId y = g.resize(w0, out_fmt, "y.resize");
   d.output = g.output(y, "y");
 
   // Conservative scaling; the output format is contractual, so pin it.

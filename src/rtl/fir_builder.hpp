@@ -7,14 +7,14 @@
 //   w_k[n] = c_k * x[n] + w_{k+1}[n-1],      y[n] = w_0[n]
 //
 // followed by conservative L1-norm scaling (see rtl/scaling.hpp).
+// DesignStats / FilterDesign and the shared tap-cascade machinery live
+// in rtl/builder.hpp, common to every design family.
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "csd/csd.hpp"
-#include "rtl/graph.hpp"
-#include "rtl/linear_model.hpp"
+#include "rtl/builder.hpp"
 
 namespace fdbist::rtl {
 
@@ -25,32 +25,6 @@ struct FirBuilderOptions {
   int product_frac = 15;  ///< fractional bits kept in the datapath
   int output_width = 16;  ///< Table 1: 16-bit output
   bool input_register = true;
-};
-
-/// Summary statistics matching the columns of the paper's Table 1.
-struct DesignStats {
-  std::size_t adders = 0;    ///< Add + Sub operators
-  std::size_t registers = 0;
-  int width_in = 0;
-  int width_coef = 0;
-  int width_out = 0;
-  std::size_t nodes = 0;
-};
-
-/// A built filter design: graph plus bookkeeping for analysis and probing.
-struct FilterDesign {
-  std::string name;
-  Graph graph;
-  std::vector<csd::Coefficient> coefs;
-  NodeId input = kNoNode;
-  NodeId output = kNoNode;      ///< Output node (16-bit word)
-  std::vector<NodeId> tap_accumulators; ///< w_k node per tap k
-  std::vector<NodeId> structural_adders; ///< the tap-combining Add/Sub nodes
-  std::vector<NodeLinearInfo> linear;   ///< post-scaling linear analysis
-
-  DesignStats stats() const;
-  /// Real-valued quantized impulse response actually implemented.
-  std::vector<double> quantized_impulse_response() const;
 };
 
 /// Build, scale, and analyze a transposed-form CSD FIR from real

@@ -66,6 +66,30 @@ NodeId Graph::reg(NodeId a, std::string name) {
   return id;
 }
 
+NodeId Graph::reg_forward(const fx::Format& fmt, std::string name) {
+  FDBIST_REQUIRE(fmt.valid(), "forward register format invalid");
+  Node n;
+  n.kind = OpKind::Reg;
+  n.fmt = fmt;
+  n.name = std::move(name);
+  const NodeId id = push(std::move(n));
+  registers_.push_back(id);
+  return id;
+}
+
+void Graph::bind_reg(NodeId id, NodeId a) {
+  FDBIST_REQUIRE(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+                 "register id out of range");
+  check_operand(a);
+  Node& n = nodes_[static_cast<std::size_t>(id)];
+  FDBIST_REQUIRE(n.kind == OpKind::Reg, "bind_reg target is not a register");
+  FDBIST_REQUIRE(n.a == kNoNode, "register is already bound");
+  FDBIST_REQUIRE(nodes_[static_cast<std::size_t>(a)].fmt == n.fmt,
+                 "feedback driver format must equal the register's state "
+                 "format (resize the feedback path explicitly)");
+  n.a = a;
+}
+
 NodeId Graph::add(NodeId a, NodeId b, const fx::Format& fmt,
                   std::string name) {
   check_operand(a);
@@ -160,9 +184,16 @@ void Graph::validate() const {
     const Node& n = nodes_[i];
     FDBIST_ASSERT(n.fmt.valid(), "node has invalid format");
     const bool needs_a = n.kind != OpKind::Input && n.kind != OpKind::Const;
-    if (needs_a)
+    if (n.kind == OpKind::Reg) {
+      // Registers sample the previous cycle, so their driver may live
+      // anywhere in the graph — but every forward register must have
+      // been bound before the graph is used.
+      FDBIST_ASSERT(n.a >= 0 && n.a < static_cast<NodeId>(nodes_.size()),
+                    "register driver unbound (missing bind_reg?)");
+    } else if (needs_a) {
       FDBIST_ASSERT(n.a >= 0 && n.a < static_cast<NodeId>(i),
                     "operand a must precede its user");
+    }
     if (n.kind == OpKind::Add || n.kind == OpKind::Sub)
       FDBIST_ASSERT(n.b >= 0 && n.b < static_cast<NodeId>(i),
                     "operand b must precede its user");

@@ -33,9 +33,10 @@ enum class OpKind : std::uint8_t {
 const char* op_name(OpKind k);
 
 /// One RTL operator. Operands refer to earlier nodes (the graph is stored
-/// in topological order; registers read their operand's previous-cycle
-/// value, so they impose no ordering constraint, but we keep them ordered
-/// too for simplicity — filter datapaths are feed-forward).
+/// in topological order) with one exception: a register created through
+/// reg_forward may read a *later* node. Registers sample their operand's
+/// previous-cycle value, so a forward reference is still well-defined —
+/// it is exactly how feedback loops (IIR sections) close.
 struct Node {
   OpKind kind = OpKind::Const;
   NodeId a = kNoNode; ///< first operand
@@ -53,6 +54,14 @@ public:
   NodeId constant(std::int64_t raw, const fx::Format& fmt,
                   std::string name = {});
   NodeId reg(NodeId a, std::string name = {});
+  /// A register whose driver does not exist yet (feedback state). The
+  /// format is explicit because there is no operand to copy it from;
+  /// bind_reg must be called before the graph is used.
+  NodeId reg_forward(const fx::Format& fmt, std::string name = {});
+  /// Close a feedback loop: point the forward register `id` at `a`.
+  /// The driver's format must equal the declared state format exactly
+  /// (insert an explicit Resize on the feedback path otherwise).
+  void bind_reg(NodeId id, NodeId a);
   NodeId add(NodeId a, NodeId b, const fx::Format& fmt,
              std::string name = {});
   NodeId sub(NodeId a, NodeId b, const fx::Format& fmt,

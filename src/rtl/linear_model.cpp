@@ -21,12 +21,129 @@ double l1(const std::vector<double>& h) {
   return s;
 }
 
+bool has_feedback(const Graph& g) {
+  for (const NodeId r : g.registers())
+    if (g.node(r).a >= r) return true;
+  return false;
+}
+
+// Analysis window for feedback graphs and the block size used to
+// measure the decay ratio. 12 blocks give the closure a settled ratio
+// even for poles near the builders' stability margin.
+constexpr int kWindow = 384;
+constexpr int kBlock = 32;
+
+// K-cycle response of every node in the truncation-free linear model.
+// inject == kNoNode drives a unit impulse at the input; otherwise the
+// input is silent and the impulse is added at node `inject` (the
+// transfer from a truncation site into the rest of the graph).
+std::vector<std::vector<double>> linear_response(const Graph& g,
+                                                 NodeId inject) {
+  const std::size_t n = g.size();
+  std::vector<std::vector<double>> h(n, std::vector<double>(kWindow, 0.0));
+  std::vector<double> cur(n, 0.0);
+  std::vector<double> reg_state(g.registers().size(), 0.0);
+  for (int t = 0; t < kWindow; ++t) {
+    std::size_t next_reg = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Node& nd = g.node(static_cast<NodeId>(i));
+      double v = 0.0;
+      switch (nd.kind) {
+      case OpKind::Input:
+        v = (inject == kNoNode && t == 0) ? 1.0 : 0.0;
+        break;
+      case OpKind::Const:
+        break;
+      case OpKind::Reg:
+        v = reg_state[next_reg++];
+        break;
+      case OpKind::Add:
+        v = cur[std::size_t(nd.a)] + cur[std::size_t(nd.b)];
+        break;
+      case OpKind::Sub:
+        v = cur[std::size_t(nd.a)] - cur[std::size_t(nd.b)];
+        break;
+      case OpKind::Scale:
+        v = cur[std::size_t(nd.a)] * std::ldexp(1.0, -nd.shift);
+        break;
+      case OpKind::Resize:
+      case OpKind::Output:
+        v = cur[std::size_t(nd.a)];
+        break;
+      }
+      if (static_cast<NodeId>(i) == inject && t == 0) v += 1.0;
+      cur[i] = v;
+      h[i][std::size_t(t)] = v;
+    }
+    next_reg = 0;
+    for (const NodeId r : g.registers())
+      reg_state[next_reg++] = cur[std::size_t(g.node(r).a)];
+  }
+  return h;
+}
+
+// Windowed L1 plus a geometric bound on the mass beyond the window,
+// from the decay ratio of the last two blocks.
+struct L1Tail {
+  double l1 = 0.0;
+  double tail = 0.0;
+};
+
+L1Tail close_tail(const std::vector<double>& h) {
+  L1Tail out;
+  out.l1 = l1(h);
+  double s_prev = 0.0;
+  double s_last = 0.0;
+  for (int t = kWindow - 2 * kBlock; t < kWindow - kBlock; ++t)
+    s_prev += std::abs(h[std::size_t(t)]);
+  for (int t = kWindow - kBlock; t < kWindow; ++t)
+    s_last += std::abs(h[std::size_t(t)]);
+  if (s_last <= 1e-15 * (1.0 + out.l1)) return out; // settled
+  FDBIST_ASSERT(s_prev > 0.0 && s_last < 0.98 * s_prev,
+                "feedback impulse response does not decay inside the "
+                "analysis window (unstable or near-unstable filter)");
+  const double r = s_last / s_prev;
+  out.tail = s_last * r / (1.0 - r);
+  return out;
+}
+
+// Feedback graphs: simulate the linear model instead of the symbolic
+// single pass (which requires operands to precede their users), and
+// charge every truncation site's worst-case error through its measured
+// site-to-node transfer L1 — the triangle-inequality slack propagation
+// used for feed-forward graphs diverges on recirculating loops.
+std::vector<NodeLinearInfo> analyze_feedback(const Graph& g) {
+  std::vector<NodeLinearInfo> info(g.size());
+  const auto main = linear_response(g, kNoNode);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const L1Tail lt = close_tail(main[i]);
+    info[i].impulse = main[i];
+    info[i].tail_bound = lt.tail;
+    info[i].l1_bound = lt.l1 + lt.tail;
+  }
+  for (std::size_t p = 0; p < g.size(); ++p) {
+    const Node& nd = g.node(static_cast<NodeId>(p));
+    if (nd.kind != OpKind::Resize) continue;
+    if (nd.fmt.frac >= g.node(nd.a).fmt.frac) continue;
+    // Truncation toward -inf injects an error in [0, lsb) every cycle.
+    const double lsb = std::ldexp(1.0, -nd.fmt.frac);
+    const auto resp = linear_response(g, static_cast<NodeId>(p));
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      const L1Tail lt = close_tail(resp[i]);
+      info[i].trunc_slack += lsb * (lt.l1 + lt.tail);
+    }
+  }
+  for (auto& ni : info) ni.l1_bound += ni.trunc_slack;
+  return info;
+}
+
 } // namespace
 
 std::vector<NodeLinearInfo> analyze_linear(const Graph& g) {
   FDBIST_REQUIRE(g.inputs().size() == 1,
                  "linear analysis requires a single-input graph");
   g.validate();
+  if (has_feedback(g)) return analyze_feedback(g);
   std::vector<NodeLinearInfo> info(g.size());
   for (std::size_t i = 0; i < g.size(); ++i) {
     const Node& nd = g.node(static_cast<NodeId>(i));

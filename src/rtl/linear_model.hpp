@@ -16,13 +16,27 @@ namespace fdbist::rtl {
 
 struct NodeLinearInfo {
   std::vector<double> impulse; ///< response at this node to a unit impulse
-  double l1_bound = 0.0;       ///< sum |impulse|: worst-case |value| bound
+  double l1_bound = 0.0;       ///< sum |impulse| + slack + tail: |value| bound
   double trunc_slack = 0.0;    ///< worst-case added magnitude from truncation
+  /// Feedback graphs only: conservative bound on the impulse-response
+  /// mass beyond the analysis window (geometric closure of the measured
+  /// per-block decay). Zero for feed-forward graphs, whose responses
+  /// terminate inside the window.
+  double tail_bound = 0.0;
 };
 
 /// Linear-model info for every node of a single-input graph.
 /// `impulse[n]` is the node's value at cycle n when the input is
 /// 1, 0, 0, ... (in real units).
+///
+/// Feed-forward graphs are analyzed symbolically in one topological pass
+/// (exact: the response terminates). Graphs with feedback (forward-bound
+/// registers) are analyzed by simulating the truncation-free linear
+/// model over a fixed window and closing the remaining tail
+/// geometrically; truncation slack is derived per truncation site from
+/// the site-to-node transfer L1 norms, so recirculated truncation error
+/// is bounded through the actual loop dynamics. Throws invariant_error
+/// when a response fails to decay (unstable feedback).
 std::vector<NodeLinearInfo> analyze_linear(const Graph& g);
 
 /// White-noise variance gain at each node: sum_i h_k[i]^2 (paper Eqn 1,

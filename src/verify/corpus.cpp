@@ -104,7 +104,7 @@ Expected<std::int64_t> counted(TokenReader& r, const char* what,
 
 std::string format_case(const CorpusCase& c) {
   std::ostringstream os;
-  os << "fdbist-corpus v1\n";
+  os << "fdbist-corpus v2\n";
   os << "kind " << case_kind_name(c.kind) << "\n";
   // `detail` is free text; keep it on one line so the parser can treat
   // everything after the key as the value.
@@ -129,6 +129,8 @@ std::string format_case(const CorpusCase& c) {
     os << "generator " << int(f.generator) << "\n";
     os << "vectors " << f.vectors << "\n";
     os << "mutate " << f.mutate << "\n";
+    os << "family " << int(f.family) << "\n";
+    os << "factor " << f.factor << "\n";
     os << "coefs " << f.coefs.size() << "\n";
     for (const double v : f.coefs) os << "  " << hex_double(v) << "\n";
     os << "fault_indices " << f.fault_indices.size() << "\n";
@@ -140,13 +142,18 @@ std::string format_case(const CorpusCase& c) {
 
 Expected<CorpusCase> parse_case(const std::string& text) {
   TokenReader r(text);
+  bool v2 = false;
   {
     auto magic = r.word("magic");
     if (!magic) return magic.error();
     auto version = r.word("version");
     if (!version) return version.error();
-    if (*magic != "fdbist-corpus" || *version != "v1")
+    // v1 predates the family dimension and still replays (it can only
+    // describe a FIR); anything else is refused.
+    if (*magic != "fdbist-corpus" ||
+        (*version != "v1" && *version != "v2"))
       return corrupt("bad header \"" + *magic + " " + *version + "\"");
+    v2 = *version == "v2";
   }
 
   CorpusCase c;
@@ -248,6 +255,19 @@ Expected<CorpusCase> parse_case(const std::string& text) {
       fc.mutate = static_cast<std::int32_t>(*v);
     else
       return v.error();
+    if (v2) {
+      if (auto v = expect_int("family"); v) {
+        if (*v < 0 || *v > 2)
+          return corrupt("unknown design family " + std::to_string(*v));
+        fc.family = static_cast<std::uint8_t>(*v);
+      } else {
+        return v.error();
+      }
+      if (auto v = expect_int("factor"); v)
+        fc.factor = static_cast<std::int32_t>(*v);
+      else
+        return v.error();
+    }
     {
       auto k = r.word("coefs");
       if (!k || *k != "coefs") return corrupt("expected 'coefs'");

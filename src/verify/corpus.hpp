@@ -4,11 +4,18 @@
 // minimized reproducer can be read, diffed, and hand-edited. The format
 // is versioned and self-describing (see DESIGN.md §10):
 //
-//   fdbist-corpus v1
+//   fdbist-corpus v2
 //   kind rtl | filter
 //   detail <oracle finding, one line>
 //   ... kind-specific key/value lines ...
 //   end
+//
+// Version 2 records a filter case's design family and decimation
+// factor ("family <int>" / "factor <int>" after "mutate"). Version 1
+// files — unlike v1 checkpoints and distributed partials, which are
+// refused — still replay: a v1 corpus case predates the family
+// dimension and can only describe a FIR, so loading defaults family 0
+// and factor 2 with no ambiguity. Writers always emit v2.
 //
 // Doubles (filter coefficients) are written as hexfloats so replay
 // rebuilds bit-identical designs. Loading is strict: unknown keys, bad
@@ -40,11 +47,13 @@ struct CorpusCase {
   FilterCase filter;
 };
 
-/// Serialize a case to the v1 text format.
+/// Serialize a case to the v2 text format.
 std::string format_case(const CorpusCase& c);
 
-/// Parse the v1 text format. Returns CorruptCheckpoint on any
-/// structural problem (wrong magic, truncation, malformed numbers).
+/// Parse the text format, accepting v2 and (FIR-defaulting) v1.
+/// Returns CorruptCheckpoint on any structural problem (wrong magic,
+/// unknown version, truncation, malformed numbers, an out-of-range
+/// family).
 Expected<CorpusCase> parse_case(const std::string& text);
 
 /// File-level wrappers around format_case/parse_case.

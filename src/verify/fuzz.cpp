@@ -45,6 +45,8 @@ Finding check_one(const CorpusCase& c, const std::string& scratch_dir,
     }
     if (f) return f;
   }
+  if ((property_mask & 8u) != 0)
+    if (auto f = check_signature_compaction(c.filter)) return f;
   return Finding::ok();
 }
 
@@ -83,7 +85,7 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
         ++report.corpus_replayed;
         // Replay with every property enabled: a minimized reproducer is
         // small, so the full battery stays cheap.
-        if (auto f = check_one(*loaded, scratch, 7u)) {
+        if (auto f = check_one(*loaded, scratch, 15u)) {
           FuzzFinding finding;
           finding.kind = loaded->kind;
           finding.detail = f.detail;
@@ -107,12 +109,13 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
       c.rtl.mutate = opt.mutate;
     } else {
       c.kind = CaseKind::Filter;
-      c.filter = random_filter_case(case_seed);
+      c.filter = random_filter_case(case_seed, opt.family);
       c.filter.mutate = opt.mutate;
     }
     const unsigned mask = (i % 8 == 1 ? 1u : 0u) |
                           (i % 32 == 3 ? 2u : 0u) |
-                          (i % 16 == 7 ? 4u : 0u);
+                          (i % 16 == 7 ? 4u : 0u) |
+                          (i % 8 == 5 ? 8u : 0u);
 
     Finding f = check_one(c, scratch, mask);
     ++report.cases_run;

@@ -6,10 +6,12 @@
 //      is reported immediately (already minimal — no re-minimization).
 //   2. Random pass: `cases` fresh cases, alternating RTL-datapath and
 //      filter cases, each derived deterministically from (seed, index).
-//      Filter cases also run the property checkers on a fixed schedule
-//      (superposition and prefix dominance always; MISR aliasing every
-//      4th; mixed-engine checkpoint resume every 16th; distributed
-//      slice-merge equality every 8th).
+//      Filter cases rotate through every design family (FIR, IIR
+//      biquad, polyphase decimator) unless FuzzOptions::family pins
+//      one, and also run the property checkers on a fixed schedule
+//      (superposition and prefix dominance always; the optional
+//      properties — MISR aliasing, mixed-engine resume, distributed
+//      merge, signature compaction — on rotating strides).
 //   3. On a failure: delta-debug the case down while the same category
 //      of finding persists, then serialize the minimized reproducer to
 //      the corpus directory.
@@ -42,6 +44,9 @@ struct FuzzOptions {
   /// Deliberate kernel mutation injected into every generated case
   /// (self-test mode): the oracle must catch it. -1 = off.
   std::int32_t mutate = -1;
+  /// Pin generated filter cases to one design family
+  /// (rtl::DesignFamily as an integer). -1 = rotate through all.
+  std::int32_t family = -1;
   /// Optional progress hook: (cases finished, cases total).
   std::function<void(std::size_t, std::size_t)> progress;
 };
@@ -80,7 +85,8 @@ std::string finding_category(const std::string& detail);
 /// hosts checkpoint files for the mixed-engine resume and distributed
 /// merge properties (empty disables both). `property_mask` selects
 /// optional properties: bit 0 = MISR aliasing, bit 1 = mixed-engine
-/// resume, bit 2 = distributed-vs-offline merge equality.
+/// resume, bit 2 = distributed-vs-offline merge equality, bit 3 =
+/// in-kernel signature compaction vs word-compare ground truth.
 Finding check_corpus_case(const CorpusCase& c,
                           const std::string& scratch_dir,
                           unsigned property_mask);

@@ -7,9 +7,11 @@
 #include "dist/coordinator.hpp"
 #include "fault/campaign.hpp"
 #include "fault/fault.hpp"
+#include "fixedpoint/format.hpp"
 #include "gate/lower.hpp"
 #include "gate/sim.hpp"
 #include "rtl/sim.hpp"
+#include "tpg/lfsr.hpp"
 
 namespace fdbist::verify {
 
@@ -34,6 +36,41 @@ LoweredCase prepare(const FilterCase& c) {
 
 } // namespace
 
+namespace {
+
+/// Lane-wise arithmetic over a decimator's packed input word. The
+/// packed word is not a single two's-complement number as far as the
+/// datapath is concerned — each lane_width slice is an independent
+/// sample — so halving and adding for the superposition identity must
+/// happen per lane; a whole-word shift would leak bits across lane
+/// boundaries.
+std::int64_t lanewise_halve(std::int64_t x, int lanes, int lw) {
+  std::int64_t out = 0;
+  const std::int64_t mask = (std::int64_t{1} << lw) - 1;
+  for (int m = 0; m < lanes; ++m) {
+    const std::int64_t lane =
+        fx::wrap(x >> (m * lw), fx::Format{lw, lw - 1});
+    out |= ((lane >> 1) & mask) << (m * lw);
+  }
+  return fx::wrap(out, fx::Format{lanes * lw, lw - 1});
+}
+
+std::int64_t lanewise_add(std::int64_t a, std::int64_t b, int lanes,
+                          int lw) {
+  std::int64_t out = 0;
+  const std::int64_t mask = (std::int64_t{1} << lw) - 1;
+  for (int m = 0; m < lanes; ++m) {
+    const std::int64_t la =
+        fx::wrap(a >> (m * lw), fx::Format{lw, lw - 1});
+    const std::int64_t lb =
+        fx::wrap(b >> (m * lw), fx::Format{lw, lw - 1});
+    out |= ((la + lb) & mask) << (m * lw);
+  }
+  return fx::wrap(out, fx::Format{lanes * lw, lw - 1});
+}
+
+} // namespace
+
 Finding check_superposition(const FilterCase& c) {
   const rtl::FilterDesign d = build_filter(c);
   const auto stim = filter_stimulus(c);
@@ -42,19 +79,32 @@ Finding check_superposition(const FilterCase& c) {
   // Three independent runs each accrue up to trunc_slack of truncation
   // error; anything beyond their sum (plus an LSB of round-off head
   // room) breaks linearity for a reason truncation cannot explain.
-  const double bound =
-      3.0 * lin.trunc_slack + 4.0 * d.graph.node(out).fmt.lsb();
+  // Feedback families (IIR) recirculate truncation error, and their
+  // analysis closes the loop over a finite window — tail_bound is the
+  // per-run slack for the mass beyond it, zero for feed-forward
+  // families, which keeps this the exact FIR budget when there is no
+  // feedback.
+  const double bound = 3.0 * (lin.trunc_slack + lin.tail_bound) +
+                       4.0 * d.graph.node(out).fmt.lsb();
+
+  const bool packed = d.family == rtl::DesignFamily::PolyphaseDecimator;
+  const int lanes = packed ? static_cast<int>(d.sections) : 1;
+  const int lw = packed ? d.lane_width : 0;
 
   rtl::Simulator s1(d.graph), s2(d.graph), s12(d.graph);
   const std::size_t n = stim.size();
   for (std::size_t i = 0; i < n; ++i) {
     // Half-amplitude operands: an arithmetic halving keeps each within
-    // half the input range, so x1 + x2 is always representable.
-    const std::int64_t x1 = stim[i] >> 1;
-    const std::int64_t x2 = stim[n - 1 - i] >> 1;
+    // half the input range, so x1 + x2 is always representable. For the
+    // decimator both operations act per packed lane.
+    const std::int64_t x1 =
+        packed ? lanewise_halve(stim[i], lanes, lw) : stim[i] >> 1;
+    const std::int64_t x2 = packed
+                                ? lanewise_halve(stim[n - 1 - i], lanes, lw)
+                                : stim[n - 1 - i] >> 1;
     s1.step(x1);
     s2.step(x2);
-    s12.step(x1 + x2);
+    s12.step(packed ? lanewise_add(x1, x2, lanes, lw) : x1 + x2);
     const double y1 = s1.real(out);
     const double y2 = s2.real(out);
     const double y12 = s12.real(out);
@@ -207,6 +257,68 @@ Finding check_mixed_engine_resume(const FilterCase& c,
     return Finding::fail(
         "mixed-resume: FullSweep-then-Compiled campaign verdicts differ "
         "from the one-shot reference");
+  return Finding::ok();
+}
+
+Finding check_signature_compaction(const FilterCase& c, int sig_width) {
+  const LoweredCase lc = prepare(c);
+  if (lc.faults.empty()) return Finding::ok();
+
+  fault::SignatureOptions sig;
+  sig.width = sig_width;
+  sig.taps = tpg::default_polynomial(sig_width).low_terms;
+
+  // Word-compare ground truth, then the compacted runs on each engine.
+  fault::FaultSimOptions ref_opt;
+  ref_opt.num_threads = 1;
+  ref_opt.engine = fault::FaultSimEngine::FullSweep;
+  const auto ref =
+      simulate_faults(lc.low.netlist, lc.stim, lc.faults, ref_opt);
+
+  fault::FaultSimOptions sweep_opt = ref_opt;
+  sweep_opt.signature = sig;
+  const auto sweep =
+      simulate_faults(lc.low.netlist, lc.stim, lc.faults, sweep_opt);
+
+  fault::FaultSimOptions cone_opt = sweep_opt;
+  cone_opt.engine = fault::FaultSimEngine::Compiled;
+  const auto cone =
+      simulate_faults(lc.low.netlist, lc.stim, lc.faults, cone_opt);
+
+  // Compaction must not perturb the word-compare verdicts: the
+  // signature rides alongside detection, it never replaces it.
+  if (sweep.detect_cycle != ref.detect_cycle ||
+      cone.detect_cycle != ref.detect_cycle)
+    return Finding::fail(
+        "signature-compaction: enabling the MISR changed word-compare "
+        "detect cycles");
+  if (sweep.signature_detect.size() != lc.faults.size() ||
+      cone.signature_detect != sweep.signature_detect)
+    return Finding::fail(
+        "signature-compaction: Compiled and FullSweep engines disagree "
+        "on signature verdicts");
+
+  std::size_t aliased = 0;
+  for (std::size_t i = 0; i < lc.faults.size(); ++i) {
+    if (sweep.signature_detect[i] != 0 && sweep.detect_cycle[i] < 0)
+      return Finding::fail(
+          "signature-compaction: fault " + std::to_string(i) +
+          " has a signature mismatch but an identical response stream");
+    if (sweep.detect_cycle[i] >= 0 && sweep.signature_detect[i] == 0)
+      ++aliased;
+  }
+  // Same envelope the empirical MISR-aliasing property uses: expected
+  // rate 2^-width per detected fault, 64x slack, absolute floor of two.
+  const double expected =
+      double(sweep.detected) * std::pow(2.0, -double(sig_width));
+  const double allowed = 2.0 + 64.0 * expected;
+  if (double(aliased) > allowed)
+    return Finding::fail(
+        "signature-compaction: " + std::to_string(aliased) + " of " +
+        std::to_string(sweep.detected) +
+        " detected faults aliased in the width-" +
+        std::to_string(sig_width) + " signature (allowed ~" +
+        std::to_string(allowed) + ")");
   return Finding::ok();
 }
 

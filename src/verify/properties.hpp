@@ -7,7 +7,10 @@
 //
 //   superposition   y(x1 + x2) == y(x1) + y(x2) within truncation slack
 //                   (the fault-free datapath is linear but for
-//                   quantization — paper Section 7.1)
+//                   quantization — paper Section 7.1). Feedback
+//                   families use the relaxed per-family budget that
+//                   adds the analysis window's tail bound; decimators
+//                   combine stimuli per packed lane.
 //   prefix          verdicts under a stimulus prefix agree with the
 //   dominance       full-run verdicts: detection at cycle t depends
 //                   only on vectors [0, t], so a longer stimulus can
@@ -35,7 +38,9 @@ namespace fdbist::verify {
 
 /// Superposition of the fault-free filter: drive x1, x2, and x1+x2
 /// (half-amplitude so the sum cannot overflow the input format) and
-/// require |y12 - y1 - y2| within the accumulated truncation slack.
+/// require |y12 - y1 - y2| within the accumulated truncation slack plus
+/// the family's feedback tail bound. Decimator stimuli are halved and
+/// summed per packed lane so the identity holds lane-exactly.
 Finding check_superposition(const FilterCase& c);
 
 /// Prefix dominance of fault verdicts: simulate the case's fault sample
@@ -56,6 +61,15 @@ Finding check_misr_aliasing(const FilterCase& c, int misr_width = 16);
 /// file); it is overwritten and left behind on failure for post-mortem.
 Finding check_mixed_engine_resume(const FilterCase& c,
                                   const std::string& checkpoint_path);
+
+/// In-kernel signature compaction vs word-compare ground truth: run the
+/// case's fault sample with FaultSimOptions::signature enabled on both
+/// engines and require (a) word-compare detect cycles unchanged, (b)
+/// engine-bit-identical signature verdicts, (c) signature detection
+/// implies word-compare detection (the difference MISR of an identical
+/// stream is provably zero), and (d) the measured aliased count within
+/// the 2 + 64 * detected * 2^-width envelope.
+Finding check_signature_compaction(const FilterCase& c, int sig_width = 16);
 
 /// Distributed-vs-offline equality: run the case's fault sample through
 /// the distributed coordinator (inline mode — the full slice/partial/

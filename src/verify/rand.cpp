@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hpp"
+#include "rtl/decimator_builder.hpp"
+#include "rtl/iir_builder.hpp"
 #include "tpg/generators.hpp"
 
 namespace fdbist::verify {
@@ -79,22 +82,141 @@ std::vector<std::int64_t> driven_stimulus(const RtlCase& c) {
   return out;
 }
 
-rtl::FilterDesign build_filter(const FilterCase& c) {
+namespace {
+
+/// Sanitize a raw coefficient list: finite, nonzero, within (-0.9, 0.9),
+/// L1-prescaled to `target` so the builder's output-fit requirement
+/// holds with margin.
+std::vector<double> sane_coefs(const std::vector<double>& raw,
+                               double target) {
   std::vector<double> coefs;
-  for (const double v : c.coefs)
+  for (const double v : raw)
     if (v != 0.0 && std::isfinite(v)) coefs.push_back(std::clamp(v, -0.9, 0.9));
   if (coefs.empty()) coefs.push_back(0.25);
   double l1 = 0.0;
   for (const double v : coefs) l1 += std::abs(v);
-  // The builder requires the L1 norm plus truncation slack to fit the
-  // output format; keep a conservative margin.
-  if (l1 > 0.85)
-    for (double& v : coefs) v *= 0.85 / l1;
-  rtl::FirBuilderOptions opt;
-  opt.input_width = std::clamp(c.input_width, 6, 14);
-  opt.coef_width = std::clamp(c.coef_width, 8, 16);
-  opt.product_frac = opt.coef_width;
-  return rtl::build_fir(coefs, opt, "fuzz");
+  if (l1 > target)
+    for (double& v : coefs) v *= target / l1;
+  return coefs;
+}
+
+/// Real-valued L1 gain of one biquad section, by direct DF-I recursion.
+double section_l1(const rtl::BiquadSection& s, int n) {
+  double l1 = 0.0;
+  double x1 = 0.0, x2 = 0.0, y1 = 0.0, y2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = i == 0 ? 1.0 : 0.0;
+    const double y = s.b0 * x + s.b1 * x1 + s.b2 * x2 - s.a1 * y1 - s.a2 * y2;
+    x2 = x1;
+    x1 = x;
+    y2 = y1;
+    y1 = y;
+    l1 += std::abs(y);
+  }
+  return l1;
+}
+
+/// Clamp raw section values into build_iir_biquad's stability contract
+/// and prescale each section's numerator so its own L1 gain stays below
+/// 0.85. Per-section prescaling (rather than cascade-level) bounds every
+/// *partial* cascade too, so no intermediate state format can overflow
+/// regardless of how later sections attenuate.
+std::vector<rtl::BiquadSection> sane_sections(
+    const std::vector<double>& raw) {
+  std::vector<rtl::BiquadSection> secs;
+  for (std::size_t i = 0; i + 5 <= raw.size() && secs.size() < 3; i += 5) {
+    auto safe = [&](double v) {
+      return std::isfinite(v) ? std::clamp(v, -0.9, 0.9) : 0.0;
+    };
+    rtl::BiquadSection s;
+    s.b0 = safe(raw[i]);
+    s.b1 = safe(raw[i + 1]);
+    s.b2 = safe(raw[i + 2]);
+    s.a2 = std::isfinite(raw[i + 4]) ? std::clamp(raw[i + 4], -0.4, 0.7)
+                                     : 0.0;
+    const double a1_lim = 0.8 * (1.0 + s.a2);
+    s.a1 = std::isfinite(raw[i + 3]) ? std::clamp(raw[i + 3], -a1_lim, a1_lim)
+                                     : 0.0;
+    if (s.b0 == 0.0 && s.b1 == 0.0 && s.b2 == 0.0) s.b0 = 0.25;
+    const double l1 = section_l1(s, 512);
+    if (l1 > 0.85) {
+      const double scale = 0.85 / l1;
+      s.b0 *= scale;
+      s.b1 *= scale;
+      s.b2 *= scale;
+    }
+    secs.push_back(s);
+  }
+  if (secs.empty())
+    secs.push_back(rtl::BiquadSection{0.25, 0.1, -0.2, -0.3, 0.2});
+  return secs;
+}
+
+int sane_factor(std::int32_t factor) {
+  return 2 + std::abs(factor) % 3; // 2..4
+}
+
+/// Decimator lane width: keeps the packed word within every stimulus
+/// generator's supported range (LFSRs top out at 31 bits; 24 leaves
+/// margin) while honoring the builder's lane_width >= 2.
+int sane_lane_width(std::int32_t input_width, int factor) {
+  return std::clamp(input_width, 4, 24 / factor);
+}
+
+} // namespace
+
+rtl::DesignFamily filter_family(const FilterCase& c) {
+  return static_cast<rtl::DesignFamily>(c.family % 3);
+}
+
+rtl::FilterDesign build_filter(const FilterCase& c) {
+  const int coef_width = std::clamp(c.coef_width, 8, 16);
+  switch (filter_family(c)) {
+  case rtl::DesignFamily::IirBiquad: {
+    rtl::IirBuilderOptions opt;
+    opt.input_width = std::clamp(c.input_width, 6, 14);
+    opt.coef_width = coef_width;
+    opt.product_frac = coef_width;
+    opt.state_width = coef_width + 5;
+    // The builder's wrap-free check charges recirculated truncation
+    // slack on top of the real response, so a section prescaled to
+    // 0.85 real L1 can still exceed the unit output format at narrow
+    // coefficient widths. Shrink the whole response until the interval
+    // check accepts it — the retry sequence depends only on the case,
+    // so corpus replay stays bit-exact.
+    auto secs = sane_sections(c.coefs);
+    for (int attempt = 0;; ++attempt) {
+      try {
+        return rtl::build_iir_biquad(secs, opt, "fuzz-iir");
+      } catch (const precondition_error&) {
+        if (attempt >= 6) throw;
+        for (auto& s : secs) {
+          s.b0 *= 0.7;
+          s.b1 *= 0.7;
+          s.b2 *= 0.7;
+          s.a1 *= 0.85;
+          s.a2 *= 0.85;
+        }
+      }
+    }
+  }
+  case rtl::DesignFamily::PolyphaseDecimator: {
+    rtl::DecimatorOptions opt;
+    opt.factor = sane_factor(c.factor);
+    opt.lane_width = sane_lane_width(c.input_width, opt.factor);
+    opt.coef_width = coef_width;
+    opt.product_frac = coef_width;
+    return rtl::build_polyphase_decimator(sane_coefs(c.coefs, 0.85), opt,
+                                          "fuzz-decim");
+  }
+  default: {
+    rtl::FirBuilderOptions opt;
+    opt.input_width = std::clamp(c.input_width, 6, 14);
+    opt.coef_width = coef_width;
+    opt.product_frac = coef_width;
+    return rtl::build_fir(sane_coefs(c.coefs, 0.85), opt, "fuzz");
+  }
+  }
 }
 
 namespace {
@@ -114,7 +236,12 @@ std::unique_ptr<tpg::Generator> make_source(std::uint8_t generator,
 } // namespace
 
 std::vector<std::int64_t> filter_stimulus(const FilterCase& c) {
-  const int width = std::clamp(c.input_width, 6, 14);
+  int width = std::clamp(c.input_width, 6, 14);
+  if (filter_family(c) == rtl::DesignFamily::PolyphaseDecimator) {
+    // Drive the full packed word: every lane sees generator bits.
+    const int factor = sane_factor(c.factor);
+    width = factor * sane_lane_width(c.input_width, factor);
+  }
   auto gen = make_source(c.generator, width);
   return gen->generate_raw(std::max<std::uint32_t>(c.vectors, 1));
 }
@@ -180,10 +307,18 @@ RtlCase random_rtl_case(std::uint64_t seed, std::size_t ops,
   return c;
 }
 
-FilterCase random_filter_case(std::uint64_t seed) {
+FilterCase random_filter_case(std::uint64_t seed, std::int32_t family) {
   Xoshiro256 rng(seed);
   FilterCase c;
-  const std::size_t taps = 2 + rng.below(6);
+  c.family = family >= 0 ? static_cast<std::uint8_t>(family % 3)
+                         : static_cast<std::uint8_t>(rng.below(3));
+  c.factor = 2 + static_cast<std::int32_t>(rng.below(3));
+  // IIR cases read coefficients in groups of five (one biquad section),
+  // so draw whole sections; the other families take any tap count.
+  const std::size_t taps =
+      filter_family(c) == rtl::DesignFamily::IirBiquad
+          ? 5 * (1 + rng.below(2))
+          : 2 + rng.below(6);
   for (std::size_t i = 0; i < taps; ++i) {
     double v = rng.uniform() - 0.5;
     if (std::abs(v) < 1e-3) v = 0.25;

@@ -51,13 +51,26 @@ struct RtlCase {
   std::int32_t mutate = -1;
 };
 
-/// A filter-level differential case: a small multiplierless FIR run
+/// A filter-level differential case: a small multiplierless design run
 /// through the full stack. The oracle cross-checks RTL vs gate outputs,
 /// the linear-model amplitude bound, and the Compiled vs FullSweep
 /// fault-simulation engines (verdicts, stats invariants, and sliced
 /// campaign equality).
+///
+/// `family` selects the design family and fixes how `coefs` is read:
+///   0 (FIR)        tap coefficients, as before
+///   1 (IIR)        biquad sections in groups of five
+///                  (b0 b1 b2 a1 a2), clamped into the stability
+///                  contract and per-section L1-prescaled at build
+///   2 (decimator)  full-rate impulse response h[j]; `factor` is the
+///                  decimation ratio, and the input format is the
+///                  packed factor * lane_width word
+/// Any coefficient list builds *some* valid design (build_filter is
+/// total), which is what lets the minimizer mangle specs freely.
 struct FilterCase {
   std::vector<double> coefs;
+  std::uint8_t family = 0;    ///< rtl::DesignFamily as an integer
+  std::int32_t factor = 2;    ///< decimator ratio M (family 2 only)
   std::int32_t input_width = 12;
   std::int32_t coef_width = 15;
   std::uint8_t generator = 0; ///< index into the stimulus-source table
@@ -78,18 +91,29 @@ rtl::Graph build_graph(const RtlCase& c);
 /// Wrap every stimulus word into the case's input format, in order.
 std::vector<std::int64_t> driven_stimulus(const RtlCase& c);
 
+/// The case's design family (modulo the known families, so a mangled
+/// spec still lands on one).
+rtl::DesignFamily filter_family(const FilterCase& c);
+
 /// Build the filter design described by a spec (clamps widths, rescales
-/// coefficients to a safe L1 norm, drops zero coefficients).
+/// coefficients to a safe L1 norm, drops zero coefficients; IIR
+/// sections are clamped into the builder's stability contract and
+/// decimator lane packing is sized to fit the stimulus generators).
 rtl::FilterDesign build_filter(const FilterCase& c);
 
 /// Deterministic stimulus for a filter case (generator table: LFSR-1,
 /// LFSR-2, LFSR-D, LFSR-M, Ramp, White — selected modulo the table).
+/// Words are generated at the built design's input width — the packed
+/// factor * lane_width word for decimators.
 std::vector<std::int64_t> filter_stimulus(const FilterCase& c);
 const char* filter_generator_name(std::uint8_t generator);
 
 /// Random case generators. Deterministic functions of the seed.
+/// `family` pins the filter case's design family; -1 rotates through
+/// every registered family seed-deterministically.
 RtlCase random_rtl_case(std::uint64_t seed, std::size_t ops = 40,
                         std::size_t cycles = 200);
-FilterCase random_filter_case(std::uint64_t seed);
+FilterCase random_filter_case(std::uint64_t seed,
+                              std::int32_t family = -1);
 
 } // namespace fdbist::verify

@@ -452,6 +452,91 @@ TEST_F(DistTest, PartialRoundTrips) {
   EXPECT_EQ(r->detect_cycle, p.detect_cycle);
 }
 
+/// sample_partial from a signature-compacted slice of a non-FIR design:
+/// family tag in the universe fingerprint, MISR configuration in the
+/// header, signature verdicts next to detect_cycle.
+SlicePartial sample_sig_partial() {
+  SlicePartial p = sample_partial();
+  p.fp.family = 2;
+  p.sig_width = 12;
+  p.sig_taps = 0x53;
+  p.signature_detect.assign(p.detect_cycle.size(), 0);
+  for (std::size_t i = 0; i < p.detect_cycle.size(); ++i)
+    p.signature_detect[i] = p.detect_cycle[i] >= 0 && i % 5 != 0 ? 1 : 0;
+  return p;
+}
+
+TEST_F(DistTest, SignaturePartialRoundTripsWithFamilyTag) {
+  const SlicePartial p = sample_sig_partial();
+  const std::string path = partial_path(dir(), 7);
+  ASSERT_TRUE(save_partial(path, p));
+  auto r = load_partial(path);
+  ASSERT_TRUE(r) << r.error().to_string();
+  EXPECT_EQ(r->fp, p.fp);
+  EXPECT_EQ(r->fp.family, 2u);
+  EXPECT_EQ(r->sig_width, p.sig_width);
+  EXPECT_EQ(r->sig_taps, p.sig_taps);
+  EXPECT_EQ(r->detect_cycle, p.detect_cycle);
+  EXPECT_EQ(r->signature_detect, p.signature_detect);
+}
+
+TEST_F(DistTest, VersionOnePartialIsRefused) {
+  // v1 files predate the family tag; unlike v1 corpus cases there is no
+  // safe default here — the coordinator deletes and recomputes.
+  const std::string path = partial_path(dir(), 0);
+  ASSERT_TRUE(save_partial(path, sample_partial()));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);
+    const std::uint32_t v1 = 1;
+    ASSERT_EQ(std::fwrite(&v1, sizeof v1, 1, f), 1u);
+    std::fclose(f);
+  }
+  auto r = load_partial(path);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, ErrorCode::CorruptCheckpoint);
+  EXPECT_NE(r.error().message.find("version"), std::string::npos);
+}
+
+TEST_F(DistTest, ValidateRefusesForeignFamilyAndSignatureConfig) {
+  const SlicePartial p = sample_sig_partial();
+  fault::SignatureOptions sig;
+  sig.width = int(p.sig_width);
+  sig.taps = p.sig_taps;
+  EXPECT_TRUE(validate_partial(p, p.fp, 100, 64, 10, 20, sig));
+
+  UniverseFp foreign = p.fp;
+  foreign.family = 1;
+  auto r = validate_partial(p, foreign, 100, 64, 10, 20, sig);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, ErrorCode::FingerprintMismatch);
+
+  fault::SignatureOptions wider = sig;
+  wider.width = 14;
+  r = validate_partial(p, p.fp, 100, 64, 10, 20, wider);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, ErrorCode::FingerprintMismatch);
+
+  fault::SignatureOptions other_poly = sig;
+  other_poly.taps ^= 0x6;
+  r = validate_partial(p, p.fp, 100, 64, 10, 20, other_poly);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, ErrorCode::FingerprintMismatch);
+
+  // A word-compare-only campaign must refuse a compacted partial, and a
+  // compacted campaign must refuse a word-compare-only partial.
+  r = validate_partial(p, p.fp, 100, 64, 10, 20, {});
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, ErrorCode::FingerprintMismatch);
+  const SlicePartial plain = sample_partial();
+  fault::SignatureOptions enabled = sig;
+  UniverseFp plain_fp = plain.fp;
+  r = validate_partial(plain, plain_fp, 100, 64, 10, 20, enabled);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, ErrorCode::FingerprintMismatch);
+}
+
 TEST_F(DistTest, PartialChecksumCatchesAFlippedByte) {
   const std::string path = partial_path(dir(), 0);
   ASSERT_TRUE(save_partial(path, sample_partial()));
@@ -639,6 +724,37 @@ TEST_F(DistTest, MergeRejectsBadWindowsAndVectorMismatch) {
   auto vecs = base.merge(short_stim, 0);
   ASSERT_FALSE(vecs);
   EXPECT_EQ(vecs.error().code, ErrorCode::InvalidArgument);
+}
+
+TEST_F(DistTest, MergeRejectsSignaturePresenceMismatch) {
+  // One side compacted responses, the other did not: the verdict sets
+  // are not comparable and the merge must refuse, both ways round.
+  const FaultSimResult& ref = reference();
+  {
+    FaultSimResult base = empty_like(ref);
+    FaultSimResult part = window(ref, 0, 10);
+    part.signature_detect.assign(10, 1);
+    auto r = base.merge(part, 0);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error().code, ErrorCode::InvalidArgument);
+  }
+  {
+    FaultSimResult base = empty_like(ref);
+    base.signature_detect.assign(base.total_faults, 0);
+    auto r = base.merge(window(ref, 0, 10), 0);
+    ASSERT_FALSE(r);
+    EXPECT_EQ(r.error().code, ErrorCode::InvalidArgument);
+  }
+  // Matching compacted sides merge and carry the verdicts across.
+  {
+    FaultSimResult base = empty_like(ref);
+    base.signature_detect.assign(base.total_faults, 0);
+    FaultSimResult part = window(ref, 5, 10);
+    part.signature_detect.assign(10, 0);
+    part.signature_detect[3] = 1;
+    ASSERT_TRUE(base.merge(part, 5));
+    EXPECT_EQ(base.signature_detect[8], 1);
+  }
 }
 
 TEST_F(DistTest, RequireCompleteNamesTheFirstGap) {

@@ -1,0 +1,278 @@
+// Design-family builders: IIR biquad cascades and polyphase decimators
+// must (a) track a double-precision behavioural model within their
+// analyzed truncation budget, (b) lower to gates bit-identically with
+// the RTL simulator, and (c) enforce their stability / packing
+// contracts. Also covers the forward-register graph API and the named
+// design registry these families are published through.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/xoshiro.hpp"
+#include "designs/registry.hpp"
+#include "gate/lower.hpp"
+#include "gate/sim.hpp"
+#include "rtl/decimator_builder.hpp"
+#include "rtl/iir_builder.hpp"
+#include "rtl/sim.hpp"
+
+namespace fdbist::rtl {
+namespace {
+
+std::vector<std::int64_t> random_raws(std::size_t n, const fx::Format& fmt,
+                                      std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::int64_t> x(n);
+  for (auto& v : x)
+    v = fmt.raw_min() +
+        static_cast<std::int64_t>(rng.below(
+            static_cast<std::uint64_t>(fmt.raw_max() - fmt.raw_min() + 1)));
+  return x;
+}
+
+// Double-precision DF-I cascade using the *quantized* coefficients the
+// builder actually realized (d.coefs holds b0,b1,b2,a1/2,a2 per section).
+std::vector<double> iir_reference(const FilterDesign& d,
+                                  const std::vector<double>& x) {
+  std::vector<double> cur = x;
+  for (std::size_t s = 0; s < d.sections; ++s) {
+    const auto* c = &d.coefs[s * 5];
+    const double b0 = c[0].real(), b1 = c[1].real(), b2 = c[2].real();
+    const double a1 = 2.0 * c[3].real(), a2 = c[4].real();
+    std::vector<double> y(cur.size(), 0.0);
+    double x1 = 0.0, x2 = 0.0, y1 = 0.0, y2 = 0.0;
+    for (std::size_t t = 0; t < cur.size(); ++t) {
+      const double xt = cur[t];
+      const double yt = b0 * xt + b1 * x1 + b2 * x2 - a1 * y1 - a2 * y2;
+      x2 = x1;
+      x1 = xt;
+      y2 = y1;
+      y1 = yt;
+      y[t] = yt;
+    }
+    cur = std::move(y);
+  }
+  return cur;
+}
+
+// ------------------------------------------------------------ forward regs
+
+TEST(ForwardReg, BindEnforcesFormatAndSingleBinding) {
+  Graph g;
+  const NodeId x = g.input(fx::Format::unit(8));
+  const NodeId fb = g.reg_forward(fx::Format{10, 7});
+  const NodeId s = g.add(x, fb, fx::Format{10, 7});
+  EXPECT_THROW(g.bind_reg(x, s), precondition_error);  // not a register
+  EXPECT_THROW(g.bind_reg(fb, x), precondition_error); // format mismatch
+  g.bind_reg(fb, s);
+  EXPECT_THROW(g.bind_reg(fb, s), precondition_error); // already bound
+  g.output(s);
+  g.validate();
+}
+
+TEST(ForwardReg, ValidateRejectsUnbound) {
+  Graph g;
+  const NodeId x = g.input(fx::Format::unit(8));
+  const NodeId fb = g.reg_forward(fx::Format::unit(8));
+  g.output(g.add(x, fb, fx::Format::unit(8)));
+  EXPECT_THROW(g.validate(), invariant_error);
+}
+
+TEST(ForwardReg, FeedbackLinearModelMatchesGeometry) {
+  // y[n] = 0.5 x[n] + 0.5 y[n-1]: L1 at the feedback node is 1.0.
+  Graph g;
+  const fx::Format s_fmt{12, 8};
+  const NodeId x = g.input(fx::Format::unit(8));
+  const NodeId px = g.scale(x, 1);
+  const NodeId fb = g.reg_forward(s_fmt);
+  const NodeId pf = g.scale(fb, 1);
+  const NodeId sum = g.add(px, pf, fx::Format{14, 9});
+  const NodeId y = g.resize(sum, s_fmt);
+  g.bind_reg(fb, y);
+  const NodeId out = g.output(y);
+
+  const auto info = analyze_linear(g);
+  const auto& oi = info[std::size_t(out)];
+  ASSERT_GT(oi.impulse.size(), 8u);
+  EXPECT_NEAR(oi.impulse[0], 0.5, 1e-12);
+  EXPECT_NEAR(oi.impulse[3], 0.0625, 1e-12);
+  // Geometric series sums to 1; slack is charged through the loop.
+  EXPECT_NEAR(oi.l1_bound - oi.trunc_slack, 1.0, 1e-9);
+  EXPECT_GT(oi.trunc_slack, 0.0);
+}
+
+// -------------------------------------------------------------- IIR family
+
+IirBuilderOptions small_iir_opt() {
+  IirBuilderOptions opt;
+  opt.input_width = 10;
+  opt.coef_width = 12;
+  return opt;
+}
+
+TEST(IirBuilder, TracksDoubleModelWithinBudget) {
+  const std::vector<BiquadSection> secs = {
+      {0.2, 0.4, 0.2, -0.8, 0.3},
+      {0.3, 0.0, -0.3, -0.4, 0.15},
+  };
+  const auto d = build_iir_biquad(secs, small_iir_opt(), "iir-test");
+  EXPECT_EQ(d.family, DesignFamily::IirBiquad);
+  EXPECT_EQ(d.sections, 2u);
+
+  const auto in_fmt = d.graph.node(d.input).fmt;
+  const auto stim = random_raws(600, in_fmt, 11);
+  std::vector<double> xr(stim.size());
+  for (std::size_t i = 0; i < stim.size(); ++i)
+    xr[i] = in_fmt.to_real(stim[i]);
+  // The RTL pipeline registers the input: align the reference.
+  std::vector<double> delayed(xr.size(), 0.0);
+  for (std::size_t i = 1; i < xr.size(); ++i) delayed[i] = xr[i - 1];
+  const auto ref = iir_reference(d, delayed);
+
+  Simulator sim(d.graph);
+  const auto& lin = d.linear[std::size_t(d.output)];
+  const double tol =
+      lin.trunc_slack + lin.tail_bound + d.graph.node(d.output).fmt.lsb();
+  const auto got = sim.run_probe(stim, d.output);
+  for (std::size_t t = 0; t < got.size(); ++t)
+    ASSERT_NEAR(got[t], ref[t], tol) << "cycle " << t;
+}
+
+TEST(IirBuilder, GateLevelBitIdentical) {
+  const std::vector<BiquadSection> secs = {{0.25, 0.1, -0.2, -0.6, 0.25}};
+  const auto d = build_iir_biquad(secs, small_iir_opt(), "iir-gate");
+  const auto low = gate::lower(d.graph);
+
+  Simulator ref(d.graph);
+  gate::WordSim sim(low.netlist);
+  const auto stim = random_raws(400, d.graph.node(d.input).fmt, 23);
+  for (const std::int64_t v : stim) {
+    ref.step(v);
+    sim.step_broadcast(v);
+    EXPECT_EQ(sim.lane_value(low.netlist.outputs()[0], 0), ref.raw(d.output));
+  }
+}
+
+TEST(IirBuilder, RejectsUnstableSections) {
+  IirBuilderOptions opt;
+  EXPECT_THROW(build_iir_biquad({{0.1, 0.0, 0.0, 0.0, 0.9}}, opt),
+               precondition_error); // a2 too large
+  EXPECT_THROW(build_iir_biquad({{0.1, 0.0, 0.0, 1.5, 0.2}}, opt),
+               precondition_error); // |a1| beyond 0.8*(1+a2)
+  EXPECT_THROW(build_iir_biquad({}, opt), precondition_error);
+}
+
+// -------------------------------------------------------- decimator family
+
+std::int64_t pack2(std::int64_t even, std::int64_t odd, int w) {
+  const std::uint64_t mask = (std::uint64_t{1} << w) - 1;
+  return (odd << w) | static_cast<std::int64_t>(
+                          static_cast<std::uint64_t>(even) & mask);
+}
+
+TEST(DecimatorBuilder, TracksDoubleModelWithinBudget) {
+  DecimatorOptions opt;
+  opt.lane_width = 10;
+  opt.coef_width = 12;
+  const std::vector<double> h = {0.05, 0.12, 0.2,  0.24, 0.2,
+                                 0.12, 0.05, -0.01};
+  const auto d = build_polyphase_decimator(h, opt, "dec-test");
+  EXPECT_EQ(d.family, DesignFamily::PolyphaseDecimator);
+  EXPECT_EQ(d.sections, 2u);
+  EXPECT_EQ(d.lane_width, 10);
+
+  // Full-rate sequence, packed two samples per cycle.
+  const fx::Format lane_fmt = fx::Format::unit(opt.lane_width);
+  const auto full = random_raws(800, lane_fmt, 31);
+  std::vector<std::int64_t> stim(full.size() / 2);
+  for (std::size_t n = 0; n < stim.size(); ++n)
+    stim[n] = pack2(full[2 * n], full[2 * n + 1], opt.lane_width);
+
+  Simulator sim(d.graph);
+  const auto got = sim.run_probe(stim, d.output);
+  const auto& lin = d.linear[std::size_t(d.output)];
+  const double tol = lin.trunc_slack + d.graph.node(d.output).fmt.lsb();
+  for (std::size_t n = 0; n < got.size(); ++n) {
+    // Registered input: y[n] = sum_j h[j] * x[2(n-1) - j].
+    double want = 0.0;
+    for (std::size_t j = 0; j < d.coefs.size(); ++j) {
+      const std::int64_t idx =
+          2 * (static_cast<std::int64_t>(n) - 1) - static_cast<std::int64_t>(j);
+      if (idx < 0) continue;
+      want += d.coefs[j].real() * lane_fmt.to_real(full[std::size_t(idx)]);
+    }
+    ASSERT_NEAR(got[n], want, tol) << "cycle " << n;
+  }
+}
+
+TEST(DecimatorBuilder, GateLevelBitIdentical) {
+  DecimatorOptions opt;
+  opt.lane_width = 8;
+  opt.coef_width = 10;
+  const auto d = build_polyphase_decimator({0.1, 0.3, 0.3, 0.1}, opt, "dg");
+  const auto low = gate::lower(d.graph);
+
+  Simulator ref(d.graph);
+  gate::WordSim sim(low.netlist);
+  const auto stim = random_raws(300, d.graph.node(d.input).fmt, 41);
+  for (const std::int64_t v : stim) {
+    ref.step(v);
+    sim.step_broadcast(v);
+    EXPECT_EQ(sim.lane_value(low.netlist.outputs()[0], 0), ref.raw(d.output));
+  }
+}
+
+TEST(DecimatorBuilder, RejectsBadPacking) {
+  DecimatorOptions opt;
+  opt.factor = 5;
+  EXPECT_THROW(build_polyphase_decimator({0.5}, opt), precondition_error);
+  opt.factor = 3;
+  opt.lane_width = 12; // 36 packed bits
+  EXPECT_THROW(build_polyphase_decimator({0.5}, opt), precondition_error);
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(DesignRegistry, ListsAllFamilies) {
+  const auto& reg = designs::design_registry();
+  ASSERT_EQ(reg.size(), 5u);
+  EXPECT_EQ(reg[0].name, "LP");
+  EXPECT_EQ(reg[3].family, DesignFamily::IirBiquad);
+  EXPECT_EQ(reg[4].family, DesignFamily::PolyphaseDecimator);
+  for (const auto& e : reg) EXPECT_TRUE(designs::has_design(e.name));
+  EXPECT_FALSE(designs::has_design("nope"));
+}
+
+TEST(DesignRegistry, BuildsEveryEntry) {
+  for (const auto& e : designs::design_registry()) {
+    const auto d = designs::make_design(e.name);
+    EXPECT_EQ(d.name, e.name);
+    EXPECT_EQ(d.family, e.family);
+    const auto st = d.stats();
+    EXPECT_GT(st.adders, 0u);
+    EXPECT_GT(st.registers, 0u);
+  }
+}
+
+TEST(DesignRegistry, UnknownNameThrows) {
+  EXPECT_THROW(designs::make_design("XX"), precondition_error);
+}
+
+TEST(DesignRegistry, FamilyNamesRoundTrip) {
+  for (const DesignFamily f :
+       {DesignFamily::Fir, DesignFamily::IirBiquad,
+        DesignFamily::PolyphaseDecimator}) {
+    DesignFamily parsed;
+    ASSERT_TRUE(parse_design_family(family_name(f), parsed));
+    EXPECT_EQ(parsed, f);
+  }
+  DesignFamily parsed;
+  EXPECT_TRUE(parse_design_family("iir", parsed));
+  EXPECT_EQ(parsed, DesignFamily::IirBiquad);
+  EXPECT_TRUE(parse_design_family("decimator", parsed));
+  EXPECT_EQ(parsed, DesignFamily::PolyphaseDecimator);
+  EXPECT_FALSE(parse_design_family("cic", parsed));
+  EXPECT_FALSE(parse_design_family(nullptr, parsed));
+}
+
+} // namespace
+} // namespace fdbist::rtl

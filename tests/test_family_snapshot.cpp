@@ -1,0 +1,90 @@
+// Golden snapshot of the Table 4 experiment extended to the non-FIR
+// design families: missed-fault counts for each generator kind on the
+// registered IIR biquad cascade (IIR4) and polyphase decimator (DEC2)
+// after 256 vectors, mirroring tests/test_table4_snapshot.cpp for the
+// paper's FIRs. Generators run at each design's own input width — 12
+// bits for IIR4, the 24-bit packed two-lane word for DEC2.
+//
+// The fault engine is fully deterministic, so these counts are exact
+// integers, not tolerances. A diff here means detection behaviour
+// changed — a builder change, a lowering change, a fault-universe
+// change, a generator change, or a kernel bug — and must be
+// investigated, not re-baked blindly. To re-bake after an *intended*
+// change, run this binary and copy the table it prints on failure.
+#include <array>
+#include <cstdio>
+#include <gtest/gtest.h>
+
+#include "bist/kit.hpp"
+#include "designs/registry.hpp"
+#include "tpg/generators.hpp"
+
+namespace fdbist {
+namespace {
+
+constexpr std::size_t kVectors = 256;
+
+constexpr std::array kKinds = {
+    tpg::GeneratorKind::Lfsr1, tpg::GeneratorKind::LfsrD,
+    tpg::GeneratorKind::LfsrM, tpg::GeneratorKind::Ramp};
+
+struct Golden {
+  const char* name;
+  std::array<std::size_t, 4> missed; // Lfsr1, LfsrD, LfsrM, Ramp
+};
+
+// Baked from a green run at 256 vectors.
+constexpr std::array kGolden = {
+    Golden{"IIR4", {476, 366, 1086, 4343}},
+    Golden{"DEC2", {230, 217, 3212, 6669}},
+};
+
+TEST(FamilySnapshot, MissedFaultCountsMatchGolden) {
+  bool any_diff = false;
+  std::array<std::array<std::size_t, 4>, kGolden.size()> measured{};
+  for (std::size_t di = 0; di < kGolden.size(); ++di) {
+    const auto d = designs::make_design(kGolden[di].name);
+    bist::BistKit kit(d);
+    const int width = d.stats().width_in;
+    for (std::size_t gi = 0; gi < kKinds.size(); ++gi) {
+      auto gen = tpg::make_generator(kKinds[gi], width);
+      const auto report = kit.evaluate(*gen, kVectors);
+      measured[di][gi] = report.missed();
+      EXPECT_EQ(report.missed(), kGolden[di].missed[gi])
+          << kGolden[di].name << " / " << gen->name();
+      any_diff |= report.missed() != kGolden[di].missed[gi];
+    }
+  }
+  if (any_diff) {
+    std::printf("re-bake table (only after confirming the change is "
+                "intended):\n");
+    for (std::size_t di = 0; di < kGolden.size(); ++di)
+      std::printf("  %s: {%zu, %zu, %zu, %zu}\n", kGolden[di].name,
+                  measured[di][0], measured[di][1], measured[di][2],
+                  measured[di][3]);
+  }
+}
+
+TEST(FamilySnapshot, SnapshotDesignsCoverEveryNonFirFamily) {
+  // Shape check that survives re-bakes: together with the Table 4
+  // snapshot (three FIRs) the golden suites pin every registered design
+  // family, so a new family added to the registry must also grow a
+  // snapshot before this test passes again.
+  std::array<bool, 3> covered{true, false, false}; // FIR via Table 4
+  for (const auto& g : kGolden) {
+    const auto family = designs::make_design(g.name).family;
+    covered[static_cast<std::size_t>(family)] = true;
+  }
+  std::size_t families = 0;
+  for (const auto& entry : designs::design_registry()) {
+    const auto f = static_cast<std::size_t>(entry.family);
+    ASSERT_LT(f, covered.size()) << entry.name;
+    EXPECT_TRUE(covered[f]) << "family of " << entry.name
+                            << " has no golden snapshot suite";
+    families = std::max(families, f + 1);
+  }
+  EXPECT_EQ(families, covered.size());
+}
+
+} // namespace
+} // namespace fdbist

@@ -22,6 +22,7 @@
 #include "gate/lower.hpp"
 #include "rtl/fir_builder.hpp"
 #include "tpg/generators.hpp"
+#include "tpg/lfsr.hpp"
 
 namespace fdbist::fault {
 namespace {
@@ -405,6 +406,106 @@ TEST_F(CampaignTest, ForeignCheckpointsAreRefusedWithFingerprintMismatch) {
     ASSERT_FALSE(refused);
     EXPECT_EQ(refused.error().code, ErrorCode::FingerprintMismatch);
   }
+}
+
+SignatureOptions test_signature(int width) {
+  SignatureOptions sig;
+  sig.width = width;
+  sig.taps = tpg::default_polynomial(width).low_terms;
+  return sig;
+}
+
+TEST_F(CampaignTest, SignatureCampaignMatchesOneShotThroughKillAndResume) {
+  // Signature verdicts ride in the checkpoint next to detect_cycle, so
+  // a campaign cancelled mid-flight and resumed must reproduce BOTH
+  // verdict sets of a one-shot signature run bit-for-bit.
+  const SignatureOptions sig = test_signature(10);
+  FaultSimOptions sopt;
+  sopt.num_threads = 1;
+  sopt.signature = sig;
+  const auto oracle = simulate_faults(fixture().low.netlist, fixture().stim,
+                                      fixture().faults, sopt);
+  ASSERT_EQ(oracle.signature_detect.size(), fixture().faults.size());
+  ASSERT_GT(oracle.signature_detected(), 0u);
+
+  common::CancelToken token;
+  CampaignOptions opt;
+  opt.num_threads = 1;
+  opt.signature = sig;
+  opt.checkpoint_every = 64;
+  opt.checkpoint_path = path();
+  opt.cancel = &token;
+  std::size_t calls = 0;
+  opt.progress = [&](std::size_t, std::size_t) {
+    if (++calls >= 2) token.cancel();
+  };
+  auto first = run_campaign(fixture().low.netlist, fixture().stim,
+                            fixture().faults, opt);
+  ASSERT_TRUE(first) << first.error().to_string();
+  ASSERT_FALSE(first->sim.complete);
+
+  CampaignOptions resume_opt;
+  resume_opt.num_threads = 2;
+  resume_opt.signature = sig;
+  resume_opt.checkpoint_every = 64;
+  resume_opt.checkpoint_path = path();
+  resume_opt.resume = true;
+  auto resumed = run_campaign(fixture().low.netlist, fixture().stim,
+                              fixture().faults, resume_opt);
+  ASSERT_TRUE(resumed) << resumed.error().to_string();
+  EXPECT_TRUE(resumed->sim.complete);
+  EXPECT_EQ(resumed->sim.detect_cycle, oracle.detect_cycle);
+  EXPECT_EQ(resumed->sim.signature_detect, oracle.signature_detect);
+  EXPECT_EQ(resumed->sim.signature_detected(), oracle.signature_detected());
+  EXPECT_EQ(resumed->sim.aliased(), oracle.aliased());
+}
+
+TEST_F(CampaignTest, ForeignFamilyTagIsRefusedOnResume) {
+  // Identical netlist/stimulus/faults, different declared design family:
+  // the family tag is part of the checkpoint audit precisely because
+  // the structural fingerprints cannot tell such twins apart.
+  CampaignOptions opt;
+  opt.family = 1;
+  opt.checkpoint_every = 64;
+  opt.checkpoint_path = path();
+  ASSERT_TRUE(run_campaign(fixture().low.netlist, fixture().stim,
+                           fixture().faults, opt));
+
+  CampaignOptions other = opt;
+  other.family = 2;
+  other.resume = true;
+  auto refused = run_campaign(fixture().low.netlist, fixture().stim,
+                              fixture().faults, other);
+  ASSERT_FALSE(refused);
+  EXPECT_EQ(refused.error().code, ErrorCode::FingerprintMismatch);
+  EXPECT_NE(refused.error().message.find("family"), std::string::npos);
+}
+
+TEST_F(CampaignTest, ForeignSignatureConfigurationIsRefusedOnResume) {
+  CampaignOptions opt;
+  opt.signature = test_signature(10);
+  opt.checkpoint_every = 64;
+  opt.checkpoint_path = path();
+  ASSERT_TRUE(run_campaign(fixture().low.netlist, fixture().stim,
+                           fixture().faults, opt));
+
+  // A different MISR width changes the verdict set.
+  CampaignOptions wider = opt;
+  wider.signature = test_signature(12);
+  wider.resume = true;
+  auto refused = run_campaign(fixture().low.netlist, fixture().stim,
+                              fixture().faults, wider);
+  ASSERT_FALSE(refused);
+  EXPECT_EQ(refused.error().code, ErrorCode::FingerprintMismatch);
+
+  // So does dropping compaction entirely.
+  CampaignOptions plain = opt;
+  plain.signature = {};
+  plain.resume = true;
+  refused = run_campaign(fixture().low.netlist, fixture().stim,
+                         fixture().faults, plain);
+  ASSERT_FALSE(refused);
+  EXPECT_EQ(refused.error().code, ErrorCode::FingerprintMismatch);
 }
 
 TEST_F(CampaignTest, DeadlineYieldsPartialResultAndReason) {

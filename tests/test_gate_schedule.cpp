@@ -13,6 +13,7 @@
 
 #include "common/env.hpp"
 #include "designs/reference.hpp"
+#include "designs/registry.hpp"
 #include "fault/serial.hpp"
 #include "fault/simulator.hpp"
 #include "gate/lower.hpp"
@@ -241,6 +242,32 @@ TEST(EngineEquivalence, PaperFiltersAllThreadCounts) {
     for (const std::size_t threads :
          {std::size_t{1}, std::size_t{2}, std::size_t{0}})
       expect_engines_identical(low.netlist, stim, faults, threads);
+  }
+}
+
+TEST(EngineEquivalence, EveryRegisteredFamilyAllThreadCounts) {
+  // The tentpole bit-identity sweep widened to the whole registry: the
+  // IIR biquad cascade closes cones through its feedback registers and
+  // the decimator routes packed multi-lane inputs, and both must still
+  // be engine- and thread-count-invariant exactly like the FIRs.
+  for (const auto& entry : designs::design_registry()) {
+    const auto d = designs::make_design(entry.name);
+    const auto low = lower(d.graph);
+    const auto all = fault::order_for_simulation(
+        fault::enumerate_adder_faults(low), low.netlist, d.graph);
+    std::vector<fault::Fault> faults;
+    const std::size_t stride = std::max<std::size_t>(all.size() / 140, 1);
+    for (std::size_t i = 0; i < all.size(); i += stride)
+      faults.push_back(all[i]);
+    ASSERT_GT(faults.size(), 64u) << entry.name;
+    auto gen =
+        tpg::make_generator(tpg::GeneratorKind::LfsrD, d.stats().width_in);
+    const auto stim = gen->generate_raw(160);
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{0}}) {
+      SCOPED_TRACE(entry.name);
+      expect_engines_identical(low.netlist, stim, faults, threads);
+    }
   }
 }
 

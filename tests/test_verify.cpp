@@ -230,6 +230,55 @@ TEST(VerifyCorpus, FilterCaseCoefficientsRoundTripBitExactly) {
   EXPECT_EQ(parsed->filter.vectors, c.vectors);
 }
 
+TEST(VerifyCorpus, FilterCaseFamilyAndFactorRoundTrip) {
+  // v2 records the design family and decimation factor; pin a decimator
+  // case so both fields are exercised away from their defaults.
+  const FilterCase c = random_filter_case(common::test_seed(603), 2);
+  ASSERT_EQ(c.family, 2);
+  CorpusCase cc{CaseKind::Filter, "", {}, c};
+  const std::string text = format_case(cc);
+  EXPECT_EQ(text.rfind("fdbist-corpus v2\n", 0), 0u)
+      << "writers must always emit v2";
+  auto parsed = parse_case(text);
+  ASSERT_TRUE(parsed) << parsed.error().to_string();
+  EXPECT_EQ(parsed->filter.family, c.family);
+  EXPECT_EQ(parsed->filter.factor, c.factor);
+  EXPECT_EQ(parsed->filter.coefs, c.coefs);
+  EXPECT_EQ(filter_family(parsed->filter),
+            rtl::DesignFamily::PolyphaseDecimator);
+}
+
+TEST(VerifyCorpus, VersionOneFilterCaseReplaysAsFir) {
+  // A v1 corpus case predates the family dimension and can only
+  // describe a FIR, so it still loads — defaulting family 0 / factor 2
+  // — unlike v1 checkpoints and partials, which are refused.
+  const char* v1 =
+      "fdbist-corpus v1\nkind filter\ndetail legacy case\n"
+      "input_width 12\ncoef_width 15\ngenerator 1\nvectors 64\nmutate -1\n"
+      "coefs 2\n  0x1p-2\n  -0x1p-3\nfault_indices 1\n  5\nend\n";
+  auto parsed = parse_case(v1);
+  ASSERT_TRUE(parsed) << parsed.error().to_string();
+  EXPECT_EQ(parsed->filter.family, 0);
+  EXPECT_EQ(parsed->filter.factor, 2);
+  ASSERT_EQ(parsed->filter.coefs.size(), 2u);
+  EXPECT_EQ(parsed->filter.coefs[0], 0.25);
+  EXPECT_EQ(parsed->filter.coefs[1], -0.125);
+  EXPECT_EQ(filter_family(parsed->filter), rtl::DesignFamily::Fir);
+}
+
+TEST(VerifyCorpus, OutOfRangeFamilyIsCorrupt) {
+  const FilterCase c = random_filter_case(common::test_seed(604));
+  CorpusCase cc{CaseKind::Filter, "", {}, c};
+  std::string text = format_case(cc);
+  const auto pos = text.find("\nfamily ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 8] = '7'; // family is a single digit in 0..2
+  auto parsed = parse_case(text);
+  ASSERT_FALSE(parsed);
+  EXPECT_EQ(parsed.error().code, ErrorCode::CorruptCheckpoint);
+  EXPECT_NE(parsed.error().message.find("family"), std::string::npos);
+}
+
 TEST(VerifyCorpus, MalformedTextIsRefusedWithCorruptError) {
   for (const char* bad :
        {"", "not-a-corpus v1\nkind rtl\n", "fdbist-corpus v2\n",

@@ -80,6 +80,43 @@ TEST_F(VerifyPropertyTest, MixedEngineResumeIsBitIdentical) {
   }
 }
 
+TEST(VerifyProperties, SignatureCompactionHoldsForEveryFamily) {
+  // In-kernel difference-MISR verdicts vs word-compare ground truth,
+  // pinned per family so a regression in the relaxed IIR oracle or the
+  // decimator lane packing cannot hide behind the family rotation.
+  for (std::int32_t family = 0; family <= 2; ++family) {
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      const std::uint64_t seed = common::test_seed(860 + 10 * family + i);
+      const Finding f =
+          check_signature_compaction(random_filter_case(seed, family));
+      EXPECT_FALSE(f.failed) << "family " << family << ": " << f.detail
+                             << "; " << common::seed_note(seed);
+    }
+  }
+}
+
+TEST(VerifyProperties, RelaxedSuperpositionIsGreenAcrossFamilies) {
+  // The acceptance bar for the non-FIR families: the per-family relaxed
+  // superposition oracle (truncation slack + impulse-tail budget, and
+  // lanewise combination for decimators) must be green over a large
+  // seeded batch with zero false discrepancies.
+  constexpr std::uint64_t kCasesPerFamily = 1000;
+  for (std::int32_t family = 1; family <= 2; ++family) {
+    std::size_t failures = 0;
+    std::uint64_t first_bad = 0;
+    for (std::uint64_t i = 0; i < kCasesPerFamily; ++i) {
+      const std::uint64_t seed = common::test_seed(900'000 +
+                                                   100'000 * family + i);
+      if (check_superposition(random_filter_case(seed, family)).failed) {
+        if (failures == 0) first_bad = seed;
+        ++failures;
+      }
+    }
+    EXPECT_EQ(failures, 0u) << "family " << family << ": first failure at "
+                            << common::seed_note(first_bad);
+  }
+}
+
 TEST(VerifyProperties, MutatedKernelTripsTheFilterOracle) {
   // End-to-end red path: a kernel mutation inside the Compiled engine's
   // netlist must surface as an engine diff (or as an escaped-mutation
