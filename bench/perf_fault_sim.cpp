@@ -22,15 +22,19 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/parse.hpp"
 #include "common/simd.hpp"
 #include "designs/reference.hpp"
 #include "fault/kernel.hpp"
+#include "fault/schedule_cache.hpp"
 #include "fault/simulator.hpp"
 #include "gate/lower.hpp"
 #include "rtl/sim.hpp"
@@ -189,7 +193,7 @@ struct JsonRun {
 
 void append_json_run(std::string& out, const JsonRun& r, std::size_t vectors,
                      std::size_t faults) {
-  char buf[1536];
+  char buf[2560];
   const auto& s = r.result.stats;
   std::snprintf(
       buf, sizeof(buf),
@@ -205,7 +209,13 @@ void append_json_run(std::string& out, const JsonRun& r, std::size_t vectors,
       "       \"mean_cone_fraction\": %.4f, \"mean_early_exit_cycles\": "
       "%.1f, \"gate_eval_savings\": %.4f,\n"
       "       \"pipeline_gates_before\": %llu, \"pipeline_gates_after\": "
-      "%llu}}",
+      "%llu,\n"
+      "       \"prep_passes_ns\": %llu, \"prep_compile_ns\": %llu, "
+      "\"prep_trace_ns\": %llu,\n"
+      "       \"prep_artifact_load_ns\": %llu, \"prep_artifact_build_ns\": "
+      "%llu, \"prep_artifact_save_ns\": %llu,\n"
+      "       \"schedule_compilations\": %llu, \"artifact_mem_hits\": %llu, "
+      "\"artifact_disk_hits\": %llu, \"artifact_misses\": %llu}}",
       r.label.c_str(), fault_sim_engine_name(s.engine),
       common::simd_backend_name(s.simd), s.lane_width, r.threads, r.seconds,
       double(vectors) / r.seconds, double(faults) / r.seconds,
@@ -219,7 +229,17 @@ void append_json_run(std::string& out, const JsonRun& r, std::size_t vectors,
       s.mean_cone_fraction(), s.mean_early_exit_cycles(),
       s.gate_eval_savings(),
       static_cast<unsigned long long>(s.pipeline_gates_before),
-      static_cast<unsigned long long>(s.pipeline_gates_after));
+      static_cast<unsigned long long>(s.pipeline_gates_after),
+      static_cast<unsigned long long>(s.prep_passes_ns),
+      static_cast<unsigned long long>(s.prep_compile_ns),
+      static_cast<unsigned long long>(s.prep_trace_ns),
+      static_cast<unsigned long long>(s.prep_artifact_load_ns),
+      static_cast<unsigned long long>(s.prep_artifact_build_ns),
+      static_cast<unsigned long long>(s.prep_artifact_save_ns),
+      static_cast<unsigned long long>(s.schedule_compilations),
+      static_cast<unsigned long long>(s.artifact_mem_hits),
+      static_cast<unsigned long long>(s.artifact_disk_hits),
+      static_cast<unsigned long long>(s.artifact_misses));
   out += buf;
 }
 
@@ -297,6 +317,43 @@ int run_json_report(const std::string& path, const std::string& design_name,
         timed(base + "-hw", fault::FaultSimEngine::Compiled, b, 0, true));
   }
 
+  // Schedule-cache ablation (ISSUE 9): cache-cold builds the artifact
+  // and saves it into a fresh on-disk store; cache-warm constructs a
+  // NEW ScheduleCache over the same store — the respawned-worker shape
+  // — so the artifact must come back through an FDBA disk load, not the
+  // in-memory LRU. The acquire is timed inside the run: a warm cache is
+  // only a win if load + simulate beats compile + simulate, and the
+  // JSON rows carry prep_artifact_load_ns vs prep_artifact_build_ns so
+  // the baseline gate can watch that stay true.
+  char cache_dir[] = "/tmp/fdbist-bench-cache-XXXXXX";
+  const bool have_cache_dir = ::mkdtemp(cache_dir) != nullptr;
+  if (have_cache_dir) {
+    auto timed_cached = [&](std::string label) {
+      JsonRun r;
+      r.label = std::move(label);
+      r.threads = 1;
+      fault::FaultSimOptions opt;
+      opt.engine = fault::FaultSimEngine::Compiled;
+      opt.simd = common::SimdBackend::Auto;
+      opt.num_threads = 1;
+      fault::ScheduleCache::Config cfg;
+      cfg.dir = cache_dir;
+      fault::ScheduleCache cache(std::move(cfg));
+      fault::ArtifactCacheStats cstats;
+      const auto t0 = std::chrono::steady_clock::now();
+      opt.artifact =
+          cache.acquire(low.netlist, stim, faults, opt.passes, cstats);
+      r.result = fault::simulate_faults(low.netlist, stim, faults, opt);
+      r.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      fault::fold_cache_stats(cstats, r.result.stats);
+      return r;
+    };
+    runs.push_back(timed_cached("cache-cold-1t"));
+    runs.push_back(timed_cached("cache-warm-1t"));
+  }
+
   // The perf report doubles as a correctness tripwire: every run — any
   // engine, backend, thread count, or pass configuration — must
   // produce bit-identical verdicts.
@@ -347,6 +404,24 @@ int run_json_report(const std::string& path, const std::string& design_name,
                 r.result.stats.mean_cone_fraction(),
                 r.result.stats.gate_eval_savings());
   std::printf("  compiled vs reference @1 thread: %.2fx\n", speedup);
+  if (have_cache_dir) {
+    const auto& cold = runs[runs.size() - 2].result.stats;
+    const auto& warm = runs.back().result.stats;
+    std::printf("  artifact: cold build %.2f ms (+save %.2f ms), warm disk "
+                "load %.2f ms\n",
+                cold.prep_artifact_build_ns / 1e6,
+                cold.prep_artifact_save_ns / 1e6,
+                warm.prep_artifact_load_ns / 1e6);
+    // Best-effort scratch-store cleanup (one content-addressed file).
+    const auto key =
+        fault::make_artifact_key(low.netlist, stim, faults, {});
+    fault::ScheduleCache::Config cfg;
+    cfg.dir = cache_dir;
+    std::remove(fault::ScheduleCache(std::move(cfg))
+                    .entry_path(key)
+                    .c_str());
+    ::rmdir(cache_dir);
+  }
   return 0;
 }
 

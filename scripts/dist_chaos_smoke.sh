@@ -4,7 +4,8 @@
 # Runs `fdbist_cli coordinate` with a pool of real worker processes and
 # attacks it: random SIGKILLs of live workers mid-run, then
 # deterministic failpoint rounds (worker crash mid-slice, hung worker
-# past its lease, corrupt partial results, an instant deadline). The
+# past its lease, corrupt partial results, an instant deadline, and a
+# sabotaged schedule cache whose loads corrupt and saves error). The
 # merged coverage line must come out byte-identical to an uninterrupted
 # single-process `faultsim` of the same (design, generator, vectors)
 # cell after every survivable round, and the unsurvivable rounds must
@@ -183,6 +184,36 @@ grep -q "partial (deadline-exceeded)" "$workdir/round5.txt" ||
   fail "round 5 did not report a deadline-exceeded partial result"
 echo "round 5 OK"
 
+# ---------------------------------------------------------------------
+# Round 6: schedule-cache sabotage. A clean cached run first populates
+# the shared FDBA store (and must already be byte-identical); the rerun
+# then corrupts every artifact load and errors every artifact save via
+# failpoints, so coordinator and workers alike must fall back to
+# recompiling from source. Only corrupt/error actions here — the
+# failpoint spec reaches the coordinator process too, and a crash
+# action at an artifact seam would kill its inline path, which is a
+# different failure than the one under test. The cache may cost time,
+# never correctness.
+# ---------------------------------------------------------------------
+echo "== round 6: cache-file failpoints (corrupt loads, failed saves) =="
+sched="$workdir/sched-cache"
+coordinate round6a round6a.txt round6a.log --schedule-cache "$sched"
+status=$?
+[[ $status -eq 0 ]] || fail "round 6 cached coordinator exited $status"
+diff -u "$workdir/golden.txt" "$workdir/round6a.txt" ||
+  fail "round 6 cached output differs from the uninterrupted reference"
+ls "$sched"/fdba-*.fdba >/dev/null 2>&1 ||
+  fail "round 6 cached run left no FDBA file in the store"
+FDBIST_FAILPOINTS="artifact-load-corrupt=corrupt,artifact-save-error=error" \
+  coordinate round6b round6b.txt round6b.log --schedule-cache "$sched"
+status=$?
+[[ $status -eq 0 ]] || fail "round 6 sabotaged coordinator exited $status"
+grep -q "artifact built" "$workdir/round6b.log" ||
+  fail "round 6 no worker fell back to building the artifact"
+diff -u "$workdir/golden.txt" "$workdir/round6b.txt" ||
+  fail "round 6 sabotaged-cache output differs from the reference"
+echo "round 6 OK"
+
 echo "dist_chaos_smoke: PASS — merged output byte-identical to the" \
      "reference through $total_kills worker kills, lease expiry," \
-     "corrupt partials, and deadline expiry"
+     "corrupt partials, deadline expiry, and schedule-cache sabotage"

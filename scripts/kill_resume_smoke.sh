@@ -42,7 +42,12 @@ run_campaign() {
 }
 
 echo "== run 1: campaign, SIGKILL after ${KILL_AFTER}s =="
-run_campaign > "$workdir/first.txt" 2>&1 &
+# Launched directly (not through run_campaign) so $! is the CLI process
+# itself, not a wrapping subshell — killing only the subshell would
+# leave an orphaned campaign racing run 2 for the checkpoint tmp file.
+"$CLI" campaign $DESIGN $GEN $VECTORS \
+  --checkpoint "$ckpt" --checkpoint-every 1024 \
+  > "$workdir/first.txt" 2>&1 &
 pid=$!
 sleep "$KILL_AFTER"
 if kill -KILL "$pid" 2>/dev/null; then

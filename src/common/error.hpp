@@ -34,6 +34,7 @@ enum class ErrorCode {
   MergeGap,            ///< merged result left faults with no verdict
   WorkerLost,          ///< worker process died/hung past the retry budget
   Protocol,            ///< malformed coordinator/worker message
+  CorruptArtifact,     ///< unusable compiled-schedule artifact (FDBA)
 };
 
 inline const char* error_code_name(ErrorCode c) {
@@ -48,6 +49,7 @@ inline const char* error_code_name(ErrorCode c) {
   case ErrorCode::MergeGap: return "merge-gap";
   case ErrorCode::WorkerLost: return "worker-lost";
   case ErrorCode::Protocol: return "protocol";
+  case ErrorCode::CorruptArtifact: return "corrupt-artifact";
   }
   return "unknown";
 }

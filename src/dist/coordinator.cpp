@@ -17,6 +17,7 @@
 #include "common/subprocess.hpp"
 #include "dist/protocol.hpp"
 #include "dist/queue.hpp"
+#include "fault/schedule_cache.hpp"
 
 namespace fdbist::dist {
 
@@ -68,6 +69,8 @@ struct Coordinator {
   std::size_t spawn_budget = 0;
   std::size_t merged_faults = 0;
   std::size_t inline_owner = 0;
+  /// Acquired on the first inline slice, shared by all later ones.
+  std::shared_ptr<const fault::CompiledArtifact> inline_artifact;
 
   Coordinator(const gate::Netlist& nl_, std::span<const std::int64_t> stim,
               std::span<const fault::Fault> faults_, const DistOptions& o)
@@ -316,6 +319,18 @@ struct Coordinator {
     c.progress = [this, idx](std::size_t, std::size_t) {
       queue->renew(*idx);
     };
+    if (c.artifact == nullptr && opt.schedule_cache != nullptr &&
+        c.engine != fault::FaultSimEngine::FullSweep) {
+      // Lazily on the first inline slice: a campaign whose workers do
+      // all the work never pays for an artifact the coordinator won't
+      // use. Later inline slices reuse the handle.
+      if (inline_artifact == nullptr) {
+        fault::ArtifactCacheStats cstats;
+        inline_artifact = opt.schedule_cache->acquire(
+            nl, stimulus, faults, c.passes, cstats);
+      }
+      c.artifact = inline_artifact;
+    }
     auto r = compute_and_save_slice(nl, stimulus, faults, fp, opt.dir, *idx,
                                     spec.lo, spec.count, c);
     if (!r) {

@@ -92,6 +92,13 @@ struct DistOptions {
   /// — the coordinator supplies its own.
   SliceComputeOptions compute;
 
+  /// Optional schedule cache for inline slices (caller-owned, must
+  /// outlive the call): the coordinator acquires the campaign's
+  /// compiled artifact once, on the first slice it runs inline, instead
+  /// of re-preparing per slice. Workers bring their own cache (the CLI
+  /// forwards --schedule-cache to worker argv).
+  fault::ScheduleCache* schedule_cache = nullptr;
+
   /// Log coordinator events ("[coord] ...") to stderr.
   bool verbose = true;
 };

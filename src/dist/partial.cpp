@@ -189,6 +189,7 @@ Expected<void> compute_and_save_slice(const gate::Netlist& nl,
   copt.passes = opt.passes;
   copt.family = opt.family;
   copt.signature = opt.signature;
+  copt.artifact = opt.artifact;
   copt.checkpoint_every =
       opt.checkpoint_every == 0 ? count
                                 : std::min(opt.checkpoint_every, count);

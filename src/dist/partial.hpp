@@ -51,6 +51,10 @@
 #include "common/error.hpp"
 #include "fault/simulator.hpp"
 
+namespace fdbist::fault {
+class ScheduleCache; // fault/schedule_cache.hpp
+}
+
 namespace fdbist::dist {
 
 inline constexpr std::uint32_t kPartialVersion = 2;
@@ -123,6 +127,11 @@ struct SliceComputeOptions {
   fault::SignatureOptions signature;
   /// Within-slice checkpoint granularity; 0 = one checkpoint per slice.
   std::size_t checkpoint_every = 0;
+  /// Prebuilt compiled artifact for the FULL campaign universe
+  /// (fault/schedule_cache.hpp), acquired once per process and forwarded
+  /// to every slice this process computes — a respawned worker loads it
+  /// from the on-disk cache instead of recompiling per slice.
+  std::shared_ptr<const fault::CompiledArtifact> artifact;
   const common::CancelToken* cancel = nullptr;
   /// Called with (faults finalized in this slice, slice fault count) as
   /// the underlying campaign advances — the worker's lease heartbeat.

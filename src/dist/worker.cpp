@@ -9,6 +9,7 @@
 #include "common/failpoint.hpp"
 #include "common/subprocess.hpp"
 #include "dist/protocol.hpp"
+#include "fault/schedule_cache.hpp"
 
 namespace fdbist::dist {
 
@@ -56,6 +57,27 @@ Expected<void> run_worker(const gate::Netlist& nl,
   const UniverseFp fp =
       fingerprint_universe(nl, stimulus, faults, opt.compute.family);
 
+  // Acquire the campaign's compiled artifact ONCE per worker process —
+  // memory cache, then the shared on-disk store (where a predecessor's
+  // build is waiting after a respawn), then a single build. Every slice
+  // this process computes shares the handle; the per-slice campaigns
+  // then skip preparation entirely.
+  SliceComputeOptions compute = opt.compute;
+  if (compute.artifact == nullptr && opt.schedule_cache != nullptr &&
+      compute.engine != fault::FaultSimEngine::FullSweep) {
+    fault::ArtifactCacheStats cstats;
+    compute.artifact = opt.schedule_cache->acquire(nl, stimulus, faults,
+                                                   compute.passes, cstats);
+    if (compute.artifact != nullptr)
+      std::fprintf(stderr,
+                   "[worker %zu] artifact %s (mem %llu disk %llu built %llu)\n",
+                   opt.worker_id,
+                   cstats.mem_hits + cstats.disk_hits > 0 ? "reused" : "built",
+                   static_cast<unsigned long long>(cstats.mem_hits),
+                   static_cast<unsigned long long>(cstats.disk_hits),
+                   static_cast<unsigned long long>(cstats.misses));
+  }
+
   Message hello;
   hello.kind = MsgKind::Hello;
   hello.a = opt.worker_id;
@@ -80,7 +102,7 @@ Expected<void> run_worker(const gate::Netlist& nl,
                  opt.worker_id, slice, lo, count);
     FDBIST_FAILPOINT("slow-worker");
 
-    SliceComputeOptions copt = opt.compute;
+    SliceComputeOptions copt = compute;
     bool first_progress = true;
     std::uint64_t last_beat = 0;
     bool stdout_gone = false;

@@ -46,6 +46,14 @@ struct WorkerOptions {
   /// report of a slice is never suppressed). Keep well under the
   /// coordinator's lease.
   std::uint64_t heartbeat_ms = 200;
+
+  /// Optional schedule cache (caller-owned, must outlive the call).
+  /// When set and compute.artifact is empty, the worker acquires the
+  /// campaign's compiled artifact ONCE before entering the command loop
+  /// — a respawned worker pointed at an on-disk cache loads the FDBA
+  /// file instead of recompiling — and every slice it computes shares
+  /// that one handle.
+  fault::ScheduleCache* schedule_cache = nullptr;
 };
 
 /// Run the worker protocol loop over stdin/stdout until EXIT or EOF.

@@ -40,6 +40,8 @@
 
 namespace fdbist::fault {
 
+class ScheduleCache; // fault/schedule_cache.hpp
+
 struct CampaignOptions {
   /// Worker threads per slice (same contract as FaultSimOptions).
   std::size_t num_threads = 0;
@@ -97,6 +99,21 @@ struct CampaignOptions {
   /// Forwarded engine progress, rebased to campaign-global counts:
   /// (faults finalized across all slices incl. resumed, total faults).
   std::function<void(std::size_t, std::size_t)> progress;
+
+  /// Prebuilt preparation state for this campaign's exact (netlist,
+  /// stimulus, FULL fault universe, passes) — forwarded to every slice,
+  /// so the campaign compiles zero times instead of once per slice.
+  /// Like engine/simd/passes it is deliberately outside the checkpoint
+  /// fingerprint: verdicts are artifact-independent.
+  std::shared_ptr<const CompiledArtifact> artifact;
+
+  /// Optional schedule cache (caller-owned, must outlive the call).
+  /// When set and `artifact` is empty, run_campaign acquires the
+  /// artifact once before the slice loop — memory LRU, then disk, then
+  /// a single build — and folds the cache stats into the result.
+  /// Ignored when the engine is FullSweep. Null keeps the historical
+  /// once-per-slice preparation.
+  ScheduleCache* schedule_cache = nullptr;
 };
 
 struct CampaignResult {

@@ -1,13 +1,16 @@
 #include "fault/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <mutex>
 #include <optional>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "fault/checkpoint.hpp"
 #include "fault/kernel.hpp"
+#include "fault/schedule_cache.hpp"
 #include "gate/passes/pass.hpp"
 #include "gate/schedule.hpp"
 #include "gate/sim.hpp"
@@ -134,6 +137,12 @@ std::size_t compiled_mem_estimate(std::size_t nets, std::size_t cycles,
          workers * nets * (lane_width / 8);
 }
 
+std::uint64_t now_ns() {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count());
+}
+
 } // namespace
 
 FaultSimResult simulate_faults(const gate::Netlist& nl,
@@ -179,44 +188,94 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
                  ? FaultSimEngine::Compiled
                  : FaultSimEngine::FullSweep;
 
-  // Optimization pipeline (Compiled only; FullSweep stays the
-  // unoptimized reference). The gates hosting this run's faults are
-  // protected, so every fault re-targets cleanly via net_map and the
-  // verdicts are bit-identical to the unoptimized netlist.
+  // Preparation. Two mutually exclusive paths feed the batch loop the
+  // same three things — a netlist, a compiled schedule, and (Compiled
+  // engine) a good trace:
+  //
+  //   * Artifact path: a prebuilt CompiledArtifact handle
+  //     (FaultSimOptions::artifact) carries all of them; this run skips
+  //     the pass pipeline, compilation and trace recording entirely and
+  //     only remaps its faults (a subset of the artifact's keyed
+  //     universe) through the artifact's retarget map. Pipeline stats
+  //     are credited by whoever built the artifact, never here.
+  //   * Scratch path: the historical per-call pipeline + compile +
+  //     per-pass trace recording, now with a prep-time breakdown.
+  //
+  // FullSweep ignores the artifact and stays the unoptimized reference.
+  const CompiledArtifact* art =
+      engine == FaultSimEngine::Compiled ? opt.artifact.get() : nullptr;
   const gate::Netlist* sim_nl = &nl;
   std::vector<Fault> remapped;
   std::span<const Fault> sim_faults = faults;
   std::optional<gate::PassPipelineResult> pipeline;
-  if (engine == FaultSimEngine::Compiled && opt.passes.any() &&
-      !faults.empty()) {
-    std::vector<gate::NetId> sites;
-    sites.reserve(faults.size());
-    for (const Fault& f : faults) sites.push_back(f.gate);
-    pipeline.emplace(gate::run_passes(nl, sites, opt.passes));
-    remapped.assign(faults.begin(), faults.end());
-    for (Fault& f : remapped) {
-      const gate::NetId m = pipeline->net_map[std::size_t(f.gate)];
-      FDBIST_ASSERT(m != gate::kNoNet, "pass pipeline dropped a fault site");
-      f.gate = m;
+  std::optional<gate::CompiledSchedule> owned_sched;
+  const gate::CompiledSchedule* sched_ptr = nullptr;
+  if (art != nullptr) {
+    // A mismatched artifact is an API-misuse bug (the cache keys on
+    // these exact fingerprints), so REQUIRE rather than silently
+    // falling back: a silent recompile here would mask the bug forever.
+    FDBIST_REQUIRE(art->key.netlist_fp == fingerprint_netlist(nl),
+                   "artifact was built for a different netlist");
+    FDBIST_REQUIRE(art->key.stimulus_fp == fingerprint_stimulus(stimulus),
+                   "artifact was built for a different stimulus");
+    FDBIST_REQUIRE(art->key.pass_config == encode_pass_config(opt.passes),
+                   "artifact was built under a different pass configuration");
+    FDBIST_REQUIRE(art->schedule.has_value(),
+                   "artifact carries no compiled schedule");
+    if (!faults.empty()) {
+      remapped.assign(faults.begin(), faults.end());
+      for (Fault& f : remapped) {
+        FDBIST_REQUIRE(f.gate >= 0 &&
+                           std::size_t(f.gate) < art->net_map.size(),
+                       "fault outside the artifact's net map");
+        const gate::NetId m = art->net_map[std::size_t(f.gate)];
+        FDBIST_REQUIRE(m != gate::kNoNet,
+                       "fault site not protected by the artifact's pipeline "
+                       "(fault outside the keyed universe?)");
+        f.gate = m;
+      }
+      sim_faults = remapped;
     }
-    sim_faults = remapped;
-    sim_nl = &pipeline->netlist;
-    result.stats.pipeline_runs = 1;
-    result.stats.pipeline_gates_before = pipeline->gates_before;
-    result.stats.pipeline_gates_after = pipeline->gates_after;
-    for (const gate::PassDelta& pd : pipeline->deltas) {
-      auto& c = result.stats.passes[std::size_t(pd.kind)];
-      c.runs += pd.runs;
-      c.gates_removed += pd.gates_removed;
-      c.edges_removed += pd.edges_removed;
-      c.regs_removed += pd.regs_removed;
+    sim_nl = &art->netlist;
+    sched_ptr = &*art->schedule;
+  } else {
+    if (engine == FaultSimEngine::Compiled && opt.passes.any() &&
+        !faults.empty()) {
+      const std::uint64_t t0 = now_ns();
+      std::vector<gate::NetId> sites;
+      sites.reserve(faults.size());
+      for (const Fault& f : faults) sites.push_back(f.gate);
+      pipeline.emplace(gate::run_passes(nl, sites, opt.passes));
+      result.stats.prep_passes_ns += now_ns() - t0;
+      remapped.assign(faults.begin(), faults.end());
+      for (Fault& f : remapped) {
+        const gate::NetId m = pipeline->net_map[std::size_t(f.gate)];
+        FDBIST_ASSERT(m != gate::kNoNet, "pass pipeline dropped a fault site");
+        f.gate = m;
+      }
+      sim_faults = remapped;
+      sim_nl = &pipeline->netlist;
+      result.stats.pipeline_runs = 1;
+      result.stats.pipeline_gates_before = pipeline->gates_before;
+      result.stats.pipeline_gates_after = pipeline->gates_after;
+      for (const gate::PassDelta& pd : pipeline->deltas) {
+        auto& c = result.stats.passes[std::size_t(pd.kind)];
+        c.runs += pd.runs;
+        c.gates_removed += pd.gates_removed;
+        c.edges_removed += pd.edges_removed;
+        c.regs_removed += pd.regs_removed;
+      }
     }
+    // Compile once; shared read-only by every worker of every pass.
+    const std::uint64_t c0 = now_ns();
+    owned_sched.emplace(*sim_nl);
+    result.stats.prep_compile_ns += now_ns() - c0;
+    result.stats.schedule_compilations = 1;
+    sched_ptr = &*owned_sched;
   }
-
-  // Compile once; shared read-only by every worker of every pass. The
-  // full-sweep gate baseline stays the *original* netlist's, so the
+  const gate::CompiledSchedule& sched = *sched_ptr;
+  // The full-sweep gate baseline stays the *original* netlist's, so the
   // savings counters are comparable across pass configurations.
-  const gate::CompiledSchedule sched(*sim_nl);
   const std::uint64_t full_sweep_gates = nl.logic_gate_count();
 
   // Progress counts *finalized* faults — detected, or survived the full
@@ -253,11 +312,21 @@ FaultSimResult simulate_faults(const gate::Netlist& nl,
   auto run_pass = [&](const std::vector<std::size_t>& indices,
                       std::size_t budget, bool final_pass) {
     std::optional<gate::GoodTrace> trace;
+    const gate::GoodTrace* trace_ptr = nullptr;
     if (engine == FaultSimEngine::Compiled && !indices.empty()) {
-      trace = gate::record_good_trace(sched, stimulus, budget);
-      result.stats.good_trace_cycles += budget;
+      if (art != nullptr) {
+        // The artifact's trace covers the full stimulus; batch kernels
+        // only read row prefixes, so it serves every budget. Nothing is
+        // recorded, which is exactly the time this path saves.
+        trace_ptr = &art->trace;
+      } else {
+        const std::uint64_t t0 = now_ns();
+        trace = gate::record_good_trace(sched, stimulus, budget);
+        result.stats.prep_trace_ns += now_ns() - t0;
+        result.stats.good_trace_cycles += budget;
+        trace_ptr = &*trace;
+      }
     }
-    const gate::GoodTrace* trace_ptr = trace ? &*trace : nullptr;
 
     const std::size_t num_batches = (indices.size() + fpb - 1) / fpb;
     const std::size_t workers =

@@ -31,6 +31,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,8 @@
 #include "gate/passes/pass.hpp"
 
 namespace fdbist::fault {
+
+struct CompiledArtifact; // fault/schedule_cache.hpp
 
 /// Which batch engine simulate_faults uses. Verdicts are bit-identical
 /// across engines; only the work per batch differs.
@@ -94,6 +97,28 @@ struct FaultSimStats {
     std::uint64_t regs_removed = 0;
   };
   std::array<PassCounters, gate::kPassKinds> passes{};
+  /// Preparation-time breakdown: what simulate_faults (or the artifact
+  /// build/load on its behalf) spent before the first batch ran. A run
+  /// handed a prebuilt artifact reports zero passes/compile/trace time —
+  /// that is the whole point — while the acquisition site folds the
+  /// artifact's own build/load/save time in via fold_cache_stats
+  /// (fault/schedule_cache.hpp).
+  std::uint64_t prep_passes_ns = 0;  ///< pass pipeline
+  std::uint64_t prep_compile_ns = 0; ///< CompiledSchedule construction
+  std::uint64_t prep_trace_ns = 0;   ///< good-trace recording
+  std::uint64_t prep_artifact_load_ns = 0;  ///< FDBA load + validate
+  std::uint64_t prep_artifact_build_ns = 0; ///< artifact build on miss
+  std::uint64_t prep_artifact_save_ns = 0;  ///< FDBA serialize + write
+  /// Schedule compilations actually performed (0 when an artifact was
+  /// reused). A campaign split into S slices compiles once per design,
+  /// not once per slice — this counter is how tests verify that.
+  std::uint64_t schedule_compilations = 0;
+  /// Artifact-cache observability (fold_cache_stats).
+  std::uint64_t artifact_mem_hits = 0;
+  std::uint64_t artifact_disk_hits = 0;
+  std::uint64_t artifact_misses = 0;
+  std::uint64_t artifact_evictions = 0;
+  std::uint64_t artifact_load_failures = 0;
 
   /// Mean fraction of the netlist a batch actually evaluates (1.0 for
   /// the full-sweep engine).
@@ -137,6 +162,18 @@ struct FaultSimStats {
       passes[k].edges_removed += o.passes[k].edges_removed;
       passes[k].regs_removed += o.passes[k].regs_removed;
     }
+    prep_passes_ns += o.prep_passes_ns;
+    prep_compile_ns += o.prep_compile_ns;
+    prep_trace_ns += o.prep_trace_ns;
+    prep_artifact_load_ns += o.prep_artifact_load_ns;
+    prep_artifact_build_ns += o.prep_artifact_build_ns;
+    prep_artifact_save_ns += o.prep_artifact_save_ns;
+    schedule_compilations += o.schedule_compilations;
+    artifact_mem_hits += o.artifact_mem_hits;
+    artifact_disk_hits += o.artifact_disk_hits;
+    artifact_misses += o.artifact_misses;
+    artifact_evictions += o.artifact_evictions;
+    artifact_load_failures += o.artifact_load_failures;
   }
 };
 
@@ -214,6 +251,20 @@ struct FaultSimOptions {
   /// truth in detect_cycle. Both verdict sets stay bit-identical across
   /// engines, SIMD widths and thread counts.
   SignatureOptions signature;
+
+  /// Prebuilt preparation state (fault/schedule_cache.hpp): the
+  /// post-pass netlist, compiled schedule and full-budget good trace,
+  /// built once and shared across slices/threads/processes. When set
+  /// and the engine resolves to Compiled, simulate_faults skips its own
+  /// pass pipeline, compilation and trace recording entirely and remaps
+  /// `faults` (any subset of the artifact's keyed universe) through the
+  /// artifact's retarget map. The artifact MUST have been built for
+  /// this exact (netlist, stimulus, pass config) — enforced by
+  /// fingerprint REQUIREs, since a mismatched handle is an API-misuse
+  /// bug, not an environmental failure. Ignored by FullSweep, which
+  /// stays the unoptimized reference. Verdicts are bit-identical with
+  /// or without the artifact.
+  std::shared_ptr<const CompiledArtifact> artifact;
 };
 
 struct FaultSimResult {

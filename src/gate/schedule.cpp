@@ -64,6 +64,19 @@ CompiledSchedule::CompiledSchedule(const Netlist& nl) : nl_(nl), n_(nl.size()) {
     for (const NetId o : group) is_output_[std::size_t(o)] = 1;
 }
 
+CompiledSchedule::CompiledSchedule(const Netlist& nl, RestoreParts&& parts)
+    : nl_(nl), n_(nl.size()), logic_gates_(parts.logic_gates),
+      op_(std::move(parts.op)), a_(std::move(parts.a)),
+      b_(std::move(parts.b)), fan_start_(std::move(parts.fan_start)),
+      fan_(std::move(parts.fan)), reg_of_(std::move(parts.reg_of)),
+      is_output_(std::move(parts.is_output)) {
+  FDBIST_ASSERT(op_.size() == n_ && a_.size() == n_ && b_.size() == n_ &&
+                    fan_start_.size() == n_ + 1 && reg_of_.size() == n_ &&
+                    is_output_.size() == n_ &&
+                    fan_.size() == std::size_t(fan_start_[n_]),
+                "restored schedule arrays do not match the netlist");
+}
+
 void CompiledSchedule::collect_cone(std::span<const NetId> sites,
                                     ConeWorkspace& ws, Cone& out) const {
   out.clear();

@@ -47,6 +47,8 @@ Finding check_one(const CorpusCase& c, const std::string& scratch_dir,
   }
   if ((property_mask & 8u) != 0)
     if (auto f = check_signature_compaction(c.filter)) return f;
+  if ((property_mask & 16u) != 0)
+    if (auto f = check_cached_artifact(c.filter)) return f;
   return Finding::ok();
 }
 
@@ -85,7 +87,7 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
         ++report.corpus_replayed;
         // Replay with every property enabled: a minimized reproducer is
         // small, so the full battery stays cheap.
-        if (auto f = check_one(*loaded, scratch, 15u)) {
+        if (auto f = check_one(*loaded, scratch, 31u)) {
           FuzzFinding finding;
           finding.kind = loaded->kind;
           finding.detail = f.detail;
@@ -115,7 +117,8 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
     const unsigned mask = (i % 8 == 1 ? 1u : 0u) |
                           (i % 32 == 3 ? 2u : 0u) |
                           (i % 16 == 7 ? 4u : 0u) |
-                          (i % 8 == 5 ? 8u : 0u);
+                          (i % 8 == 5 ? 8u : 0u) |
+                          (i % 16 == 11 ? 16u : 0u);
 
     Finding f = check_one(c, scratch, mask);
     ++report.cases_run;

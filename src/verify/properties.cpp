@@ -7,6 +7,7 @@
 #include "dist/coordinator.hpp"
 #include "fault/campaign.hpp"
 #include "fault/fault.hpp"
+#include "fault/schedule_cache.hpp"
 #include "fixedpoint/format.hpp"
 #include "gate/lower.hpp"
 #include "gate/sim.hpp"
@@ -353,6 +354,61 @@ Finding check_distributed_merge(const FilterCase& c,
     return Finding::fail(
         "distributed-merge: merged slice verdicts differ from the "
         "one-shot reference");
+  return Finding::ok();
+}
+
+Finding check_cached_artifact(const FilterCase& c) {
+  const LoweredCase lc = prepare(c);
+  if (lc.faults.empty()) return Finding::ok();
+
+  // Compile-from-scratch references on both engines. If these already
+  // disagree the cache is innocent — report it as an engine divergence.
+  fault::FaultSimOptions sweep_opt;
+  sweep_opt.num_threads = 1;
+  sweep_opt.engine = fault::FaultSimEngine::FullSweep;
+  const auto sweep =
+      simulate_faults(lc.low.netlist, lc.stim, lc.faults, sweep_opt);
+
+  fault::FaultSimOptions cone_opt;
+  cone_opt.num_threads = 1;
+  cone_opt.engine = fault::FaultSimEngine::Compiled;
+  const auto scratch =
+      simulate_faults(lc.low.netlist, lc.stim, lc.faults, cone_opt);
+  if (scratch.detect_cycle != sweep.detect_cycle)
+    return Finding::fail(
+        "cached-artifact: engines disagree before any artifact is "
+        "involved");
+
+  // Fresh artifact handle.
+  const auto art = fault::build_artifact(lc.low.netlist, lc.stim, lc.faults,
+                                         cone_opt.passes);
+  if (art == nullptr)
+    return Finding::fail("cached-artifact: build_artifact returned null");
+  cone_opt.artifact = art;
+  const auto warm =
+      simulate_faults(lc.low.netlist, lc.stim, lc.faults, cone_opt);
+  if (warm.detect_cycle != scratch.detect_cycle ||
+      warm.detected != scratch.detected)
+    return Finding::fail(
+        "cached-artifact: fresh-built artifact changed verdicts");
+  if (warm.stats.schedule_compilations != 0 ||
+      warm.stats.good_trace_cycles != 0)
+    return Finding::fail(
+        "cached-artifact: the artifact path still did preparation work");
+
+  // The FDBA interchange round trip — what a disk hit actually runs.
+  const auto bytes = fault::serialize_artifact(*art);
+  auto back = fault::deserialize_artifact(bytes, art->key);
+  if (!back)
+    return Finding::fail("cached-artifact: round trip refused: " +
+                         back.error().to_string());
+  cone_opt.artifact = *back;
+  const auto loaded =
+      simulate_faults(lc.low.netlist, lc.stim, lc.faults, cone_opt);
+  if (loaded.detect_cycle != scratch.detect_cycle ||
+      loaded.detected != scratch.detected)
+    return Finding::fail(
+        "cached-artifact: deserialized artifact changed verdicts");
   return Finding::ok();
 }
 

@@ -24,6 +24,11 @@
 //   distributed     a sliced coordinator run (dist/coordinator.hpp)
 //   merge           over the same universe merges partial results to
 //                   verdicts bit-identical to a one-shot offline run
+//   cached          simulating off a prebuilt CompiledArtifact — fresh
+//   artifact        from build_artifact and again after an FDBA
+//                   serialize/deserialize round trip — yields verdicts
+//                   bit-identical to compile-from-scratch on both
+//                   engines
 //
 // All return verify::Finding; property violations are fuzz findings
 // exactly like oracle discrepancies and go through the same
@@ -79,5 +84,12 @@ Finding check_signature_compaction(const FilterCase& c, int sig_width = 16);
 /// owns it (left behind on failure for post-mortem).
 Finding check_distributed_merge(const FilterCase& c,
                                 const std::string& scratch_dir);
+
+/// Cached-artifact vs compile-from-scratch differential: build the
+/// case's compiled artifact (fault/schedule_cache.hpp), run the
+/// Compiled engine off the handle — once fresh from build_artifact and
+/// once after an FDBA serialize/deserialize round trip — and require
+/// verdicts bit-identical to scratch compilation on both engines.
+Finding check_cached_artifact(const FilterCase& c);
 
 } // namespace fdbist::verify
